@@ -1,0 +1,91 @@
+"""Shared sweep logic for the Fig 12-15 sampling-quality benches."""
+
+from repro.bench.figures import render_loglog
+from repro.bench.harness import (
+    SAMPLING_RATES,
+    measure_collector,
+    record_graph_workload,
+)
+from repro.bench.reporting import emit, format_table
+from repro.core.collector import DataCentricCollector
+
+
+def sampling_quality_sweep(name, title, vary, values, num_buus, record_kwargs):
+    """For each value of the varied parameter, replay the recorded history
+    through DCS at every sampling rate; report overhead, edges and both
+    raw and estimated cycle counts (the paper plots the raw readings in
+    Figs 12-15 and the estimates in Fig 18)."""
+    rows = []
+    checks = []
+    for value in values:
+        kwargs = dict(record_kwargs)
+        kwargs[vary] = value
+        run = record_graph_workload(num_buus=num_buus, **kwargs)
+        items = range(run.num_items)
+        truth = measure_collector(
+            DataCentricCollector(sampling_rate=1, mob=False), run, "truth"
+        )
+        sweep = []
+        for sr in SAMPLING_RATES:
+            # Items are sampled up front (§5.1), so membership is an O(1)
+            # set probe — the unsampled path pays nothing per miss.
+            collector = DataCentricCollector(sampling_rate=sr, mob=False,
+                                             seed=7, items=items)
+            m = measure_collector(collector, run, f"sr={sr}")
+            rows.append(
+                (
+                    value,
+                    sr,
+                    round(m.overhead_percent(run.app_seconds), 2),
+                    m.edges,
+                    m.raw.two_cycles,
+                    m.raw.three_cycles,
+                    round(m.estimated_2, 1),
+                    round(m.estimated_3, 1),
+                )
+            )
+            sweep.append(m)
+        checks.append((value, truth, sweep))
+    table = format_table(
+        title,
+        [vary, "sr", "overhead%", "edges", "raw 2-cyc", "raw 3-cyc",
+         "est 2-cyc", "est 3-cyc"],
+        rows,
+    )
+    overhead_series = {}
+    raw_series = {}
+    for value, _truth, sweep in checks:
+        overhead_series[f"{vary}={value}"] = [
+            m.collect_seconds for m in sweep
+        ]
+        raw_series[f"{vary}={value}"] = [m.raw.two_cycles for m in sweep]
+    chart_overhead = render_loglog(
+        "collector seconds vs sampling rate (log-log; falls ~1/sr)",
+        list(SAMPLING_RATES), overhead_series, x_label="sr", y_label="sec",
+    )
+    chart_counts = render_loglog(
+        "raw sampled 2-cycles vs sampling rate (log-log)",
+        list(SAMPLING_RATES), raw_series, x_label="sr", y_label="2cyc",
+    )
+    emit(name, table + "\n\n" + chart_overhead + "\n\n" + chart_counts)
+    return checks
+
+
+def assert_sweep_sane(checks):
+    """Shape assertions shared by Figs 12-15:
+
+    - sampling reduces collector overhead (sr=100 cheaper than sr=1);
+    - sampled edges decrease with sr;
+    - mid-rate estimates stay within a factor of the truth whenever the
+      raw sampled counts are not too tiny (the paper's own caveat).
+    """
+    for value, truth, sweep in checks:
+        by_rate = {m.label: m for m in sweep}
+        full = by_rate["sr=1"]
+        tiny = by_rate["sr=100"]
+        assert tiny.collect_seconds < full.collect_seconds
+        assert tiny.edges < full.edges
+        mid = by_rate["sr=5"]
+        if mid.raw.two_cycles >= 20:
+            assert 0.3 <= mid.estimated_2 / max(truth.estimated_2, 1e-9) <= 3.0
+        assert full.estimated_2 == truth.estimated_2

@@ -1,0 +1,35 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures: it prints the
+rows (visible with ``pytest -s``) and writes them to
+``benchmarks/results/<figure>.txt``.  Workload sizes scale with the
+``REPRO_SCALE`` environment variable (default 1.0).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import record_graph_workload, scale
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    os.environ.setdefault(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(__file__), "results"),
+    )
+
+
+@pytest.fixture(scope="session")
+def default_run():
+    """The Table 1 default workload (V=10M, D=10, C=32, LB=0 in the paper;
+    scaled here), recorded once and replayed by several benches."""
+    return record_graph_workload(
+        num_buus=scale(2500),
+        num_vertices=scale(2000),
+        average_degree=10,
+        degree_lower_bound=0,
+        num_workers=8,
+        seed=0,
+    )

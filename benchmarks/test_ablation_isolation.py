@@ -1,0 +1,59 @@
+"""Ablation: the isolation controller (Fig 4's greyed-out box).
+
+The paper's premise is that ITAs run *without* isolation because strong
+isolation costs throughput.  This bench quantifies both sides on the
+same workload: conservative-2PL serializable execution eliminates every
+anomaly and every bookstore violation — at a simulated-time cost.
+"""
+
+from repro.bench.harness import scale
+from repro.bench.reporting import emit, format_table
+from repro.core.config import RushMonConfig
+from repro.core.monitor import RushMon
+from repro.sim.scheduler import SimConfig
+from repro.workloads.bookstore import Bookstore, BookstoreConfig
+
+
+def _run(isolation):
+    monitor = RushMon(RushMonConfig(sampling_rate=1, mob=False))
+    shop = Bookstore(
+        BookstoreConfig(num_books=scale(40), customers=16,
+                        books_per_order=3, initial_stock=3,
+                        think_time=20, seed=42),
+        SimConfig(num_workers=16, seed=42, write_latency=200,
+                  compute_jitter=20, isolation=isolation),
+    )
+    shop.simulator.subscribe(monitor)
+    counter = shop.run(scale(800))
+    e2, e3 = monitor.cumulative_estimates()
+    return {
+        "violations": counter.violation_rate,
+        "anomalies": e2 + e3,
+        "sim_time": shop.simulator.now,
+    }
+
+
+def test_ablation_isolation_controller(benchmark):
+    def run():
+        return {iso: _run(iso) for iso in ("none", "serializable")}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (iso, round(100 * r["violations"], 2), round(r["anomalies"], 1),
+         r["sim_time"])
+        for iso, r in result.items()
+    ]
+    emit(
+        "ablation_isolation_controller",
+        format_table(
+            "Ablation: no isolation vs serializable (conservative 2PL), "
+            "bookstore workload",
+            ["isolation", "violation %", "anomalies", "sim time"],
+            rows,
+        ),
+    )
+    none, ser = result["none"], result["serializable"]
+    assert ser["violations"] == 0.0
+    assert ser["anomalies"] == 0.0
+    assert none["anomalies"] > 0
+    assert ser["sim_time"] > none["sim_time"]  # the throughput price

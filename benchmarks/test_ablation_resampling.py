@@ -1,0 +1,73 @@
+"""Ablation: periodic re-sampling of the chosen items (§5.1).
+
+A fixed item sample can be systematically lucky or unlucky; §5.1
+re-samples periodically to push the effective sampling closer to
+independent edge sampling.  This bench compares the spread of windowed
+estimates with and without re-sampling on a long run.
+"""
+
+import statistics
+
+from repro.bench.harness import record_graph_workload, scale
+from repro.bench.reporting import emit, format_table
+from repro.core.collector import DataCentricCollector
+from repro.core.detector import CycleDetector
+from repro.core.estimator import estimate_two_cycles
+
+
+def _window_estimates(run, resample_interval, windows=8, seed=5):
+    collector = DataCentricCollector(sampling_rate=5, mob=False, seed=seed,
+                                     resample_interval=resample_interval)
+    detector = CycleDetector()
+    per_window = []
+    chunk = len(run.ops) // windows
+    acc = 0.0
+    for index, op in enumerate(run.ops, start=1):
+        for edge in collector.handle(op):
+            new = detector.add_edge(edge)
+            acc += estimate_two_cycles(new, collector.sampling_probability)
+        if index % chunk == 0:
+            per_window.append(acc)
+            acc = 0.0
+    return per_window
+
+
+def test_ablation_resampling(benchmark):
+    def run():
+        history = record_graph_workload(
+            num_buus=scale(2400), num_vertices=scale(1500), seed=44,
+        )
+        seeds = range(scale(12, minimum=8))
+        fixed_totals, resampled_totals = [], []
+        for seed in seeds:
+            fixed_totals.append(sum(_window_estimates(history, None,
+                                                      seed=seed)))
+            resampled_totals.append(
+                sum(_window_estimates(history, resample_interval=4000,
+                                      seed=seed))
+            )
+        rows = [
+            ("fixed sample", round(statistics.mean(fixed_totals), 1),
+             round(statistics.stdev(fixed_totals), 1)),
+            ("re-sampled", round(statistics.mean(resampled_totals), 1),
+             round(statistics.stdev(resampled_totals), 1)),
+        ]
+        emit(
+            "ablation_resampling",
+            format_table(
+                "Ablation: fixed vs periodically re-sampled item set "
+                f"({len(list(seeds))} runs, total 2-cycle estimate)",
+                ["sampler", "mean", "stdev"],
+                rows,
+            ),
+        )
+        return fixed_totals, resampled_totals
+
+    fixed, resampled = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Both hover near the same mean (unbiasedness is unaffected); the
+    # re-sampled estimates came from more independent coins.  The means
+    # agree within the run-to-run spread.
+    mean_fixed = statistics.mean(fixed)
+    mean_resampled = statistics.mean(resampled)
+    spread = max(statistics.stdev(fixed), statistics.stdev(resampled), 1.0)
+    assert abs(mean_fixed - mean_resampled) < 4 * spread

@@ -1,0 +1,104 @@
+"""Fig 2 (§3 micro benchmark): cycles of length 2-5 vs synchronization
+frequency, plus the G(n, p) theory check.
+
+Paper: a 32-worker system with a global barrier every F BUUs,
+F ∈ {1, 2, 5, 10, 20, 50, 100}.  All cycle-length counts grow together
+with F, and longer cycles grow faster — the basis for the 2-/3-cycle
+conjecture.
+"""
+
+import random
+
+from repro.bench.harness import record_graph_workload, scale
+from repro.bench.reporting import emit, format_table
+from repro.core.collector import BaselineCollector
+from repro.graph.cycles import count_simple_cycles_by_length
+from repro.graph.dependency import DependencyGraph
+from repro.graph.random_graphs import directed_gnp, expected_k_cycles
+from repro.sim.buu import Buu
+from repro.sim.scheduler import SimConfig, Simulator
+from repro.bench.harness import HistoryRecorder
+from repro.workloads.graph_workload import GraphWorkload, GraphWorkloadConfig
+
+FREQUENCIES = (1, 2, 5, 10, 20, 50, 100)
+
+
+def _cycles_at_frequency(freq, num_buus, num_vertices, workers):
+    workload = GraphWorkload(
+        GraphWorkloadConfig(num_vertices=num_vertices, average_degree=8,
+                            seed=freq),
+    )
+    recorder = HistoryRecorder()
+    sim = Simulator(
+        SimConfig(num_workers=workers, seed=2, write_latency=40,
+                  compute_jitter=5, sync_frequency=freq),
+        listeners=[recorder],
+    )
+    sim.run(workload.buus(num_buus))
+    graph = DependencyGraph()
+    graph.add_edges(BaselineCollector().handle_all(recorder.ops))
+    return count_simple_cycles_by_length(graph, max_length=5)
+
+
+def test_fig02_sync_frequency(benchmark):
+    def run():
+        rows = []
+        series = {}
+        for freq in FREQUENCIES:
+            counts = _cycles_at_frequency(
+                freq, num_buus=scale(1200), num_vertices=scale(400), workers=8
+            )
+            rows.append((freq, counts[2], counts[3], counts[4], counts[5]))
+            series[freq] = counts
+        emit(
+            "fig02_sync_frequency",
+            format_table(
+                "Fig 2: cycles by length vs synchronization frequency",
+                ["sync freq", "2-cycles", "3-cycles", "4-cycles", "5-cycles"],
+                rows,
+            ),
+        )
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Barriers every BUU produce far fewer cycles than barriers every 100.
+    total = lambda c: c[2] + c[3] + c[4] + c[5]
+    assert total(series[1]) < total(series[100])
+    # Longer cycles grow faster: the long/short ratio increases with F.
+    lo, hi = series[1], series[100]
+    ratio_lo = (lo[4] + lo[5] + 1) / (lo[2] + lo[3] + 1)
+    ratio_hi = (hi[4] + hi[5] + 1) / (hi[2] + hi[3] + 1)
+    assert ratio_hi >= ratio_lo
+
+
+def test_fig02_gnp_theory(benchmark):
+    """§3's closed form E[#k-cycles] = n!/(n-k)!/k * p^k, checked
+    empirically on directed G(n, p)."""
+
+    def run():
+        n, p, trials = 14, 0.12, scale(120)
+        totals = {2: 0, 3: 0}
+        for seed in range(trials):
+            graph = directed_gnp(n, p, random.Random(seed))
+            counts = count_simple_cycles_by_length(graph, max_length=3)
+            totals[2] += counts[2]
+            totals[3] += counts[3]
+        rows = [
+            (k, round(totals[k] / trials, 2), round(expected_k_cycles(n, p, k), 2))
+            for k in (2, 3)
+        ]
+        emit(
+            "fig02_gnp_theory",
+            format_table(
+                f"Section 3 theory check: G({n}, {p}) expected k-cycles "
+                f"({trials} trials)",
+                ["k", "empirical mean", "theory"],
+                rows,
+            ),
+        )
+        return {k: (totals[k] / trials, expected_k_cycles(n, p, k))
+                for k in (2, 3)}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, (empirical, theory) in result.items():
+        assert abs(empirical - theory) / theory < 0.35

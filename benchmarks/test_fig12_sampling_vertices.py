@@ -1,0 +1,25 @@
+"""Fig 12: sampling quality while varying the number of vertices V.
+
+Paper: V ∈ {1, 2, 5, 10, 20} million; overhead falls with the sampling
+rate while the estimated cycle counts track the unsampled truth.
+"""
+
+from _sampling_common import assert_sweep_sane, sampling_quality_sweep
+
+from repro.bench.harness import scale
+
+
+def test_fig12_sampling_vertices(benchmark):
+    def run():
+        return sampling_quality_sweep(
+            name="fig12_sampling_vertices",
+            title="Fig 12: sampling quality vs number of vertices "
+                  "(paper: V in 1..20 million, scaled)",
+            vary="num_vertices",
+            values=[scale(v) for v in (500, 1000, 2000, 4000)],
+            num_buus=scale(2000),
+            record_kwargs=dict(average_degree=10, num_workers=8, seed=12),
+        )
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_sweep_sane(checks)

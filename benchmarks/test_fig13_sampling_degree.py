@@ -1,0 +1,24 @@
+"""Fig 13: sampling quality while varying the average degree D.
+
+Paper: D ∈ {2, 5, 10, 15, 20}; with D = 2 the dependency graph has
+(nearly) no 3-cycles.
+"""
+
+from _sampling_common import assert_sweep_sane, sampling_quality_sweep
+
+from repro.bench.harness import scale
+
+
+def test_fig13_sampling_degree(benchmark):
+    def run():
+        return sampling_quality_sweep(
+            name="fig13_sampling_degree",
+            title="Fig 13: sampling quality vs average degree",
+            vary="average_degree",
+            values=[2, 5, 10, 15, 20],
+            num_buus=scale(2000),
+            record_kwargs=dict(num_vertices=scale(2000), num_workers=8, seed=13),
+        )
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_sweep_sane(checks)

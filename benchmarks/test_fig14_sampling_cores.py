@@ -1,0 +1,25 @@
+"""Fig 14: sampling quality while varying the number of workers C.
+
+Paper: C ∈ {2, 4, 8, 16, 32, 64, 128}; estimation is accurate unless the
+true count is very low (the low-C lines).
+"""
+
+from _sampling_common import assert_sweep_sane, sampling_quality_sweep
+
+from repro.bench.harness import scale
+
+
+def test_fig14_sampling_cores(benchmark):
+    def run():
+        return sampling_quality_sweep(
+            name="fig14_sampling_cores",
+            title="Fig 14: sampling quality vs number of workers",
+            vary="num_workers",
+            values=[2, 4, 8, 16, 32, 64, 128],
+            num_buus=scale(2000),
+            record_kwargs=dict(num_vertices=scale(2000), average_degree=10,
+                               seed=14),
+        )
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_sweep_sane(checks)

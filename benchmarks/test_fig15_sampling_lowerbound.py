@@ -1,0 +1,25 @@
+"""Fig 15: sampling quality while varying the degree lower bound LB.
+
+Paper: LB ∈ {0, 5, 10, 15, 20} — a floor on vertex degree that raises
+conflict density uniformly.
+"""
+
+from _sampling_common import assert_sweep_sane, sampling_quality_sweep
+
+from repro.bench.harness import scale
+
+
+def test_fig15_sampling_lowerbound(benchmark):
+    def run():
+        return sampling_quality_sweep(
+            name="fig15_sampling_lowerbound",
+            title="Fig 15: sampling quality vs degree lower bound",
+            vary="degree_lower_bound",
+            values=[0, 5, 10, 15, 20],
+            num_buus=scale(2000),
+            record_kwargs=dict(num_vertices=scale(2000), average_degree=10,
+                               num_workers=8, seed=15),
+        )
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_sweep_sane(checks)

@@ -1,0 +1,42 @@
+"""Fig 23: rw / ww / wr edge-category counts, with and without MOB.
+
+Paper: ww edges are about two orders of magnitude rarer than rw/wr in
+the read-modify-write workload, which justifies MOB's single read slot.
+"""
+
+from repro.bench.harness import SAMPLING_RATES, measure_collector
+from repro.bench.reporting import emit, format_table
+from repro.core.collector import DataCentricCollector
+
+
+def test_fig23_edge_categories(benchmark, default_run):
+    def run():
+        items = range(default_run.num_items)
+        rows = []
+        result = {}
+        for mob in (False, True):
+            for sr in SAMPLING_RATES:
+                m = measure_collector(
+                    DataCentricCollector(sampling_rate=sr, mob=mob, seed=23,
+                                         items=items),
+                    default_run, f"mob={mob} sr={sr}",
+                )
+                stats = m.edge_stats
+                rows.append(("with MOB" if mob else "no MOB", sr,
+                             stats["rw"], stats["ww"], stats["wr"]))
+                result[(mob, sr)] = stats
+        emit(
+            "fig23_edge_categories",
+            format_table(
+                "Fig 23: edge categories vs sampling rate",
+                ["bookkeeping", "sr", "rw", "ww", "wr"],
+                rows,
+            ),
+        )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The workload is read-modify-write, so ww edges are rare relative
+    # to rw/wr — the paper's justification for MOB's 1-slot design.
+    full = result[(False, 1)]
+    assert full["ww"] * 10 < full["rw"] + full["wr"]

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Weak-isolation bookstore: consistency violations vs anomalies (Fig 11).
+
+An online bookstore where concurrent customers check stock, think, and
+then decrement it without re-validating — the classic write-skew setup.
+We sweep the chaos level (write visibility latency) and show the
+violation rate (orders that drive a stock negative) moving together with
+RushMon's cycle counts.
+
+Run:  python examples/bookstore.py
+"""
+
+from repro.core.config import RushMonConfig
+from repro.core.monitor import RushMon
+from repro.sim import SimConfig
+from repro.workloads.bookstore import Bookstore, BookstoreConfig
+
+
+def run_shop(write_latency: int) -> tuple[float, float, float]:
+    monitor = RushMon(RushMonConfig(sampling_rate=1, mob=False, seed=7))
+    shop = Bookstore(
+        BookstoreConfig(num_books=60, customers=16, books_per_order=3,
+                        initial_stock=3, think_time=30,
+                        curator_interval=300, seed=7),
+        SimConfig(num_workers=16, seed=7, write_latency=write_latency,
+                  compute_jitter=30),
+    )
+    shop.simulator.subscribe(monitor)
+    counter = shop.run(num_purchases=1200)
+    e2, e3 = monitor.cumulative_estimates()
+    steps = max(1, shop.simulator.now)
+    return counter.violation_rate, 1000 * e2 / steps, 1000 * e3 / steps
+
+
+def main() -> None:
+    print("latency  violation %  2-cyc/kstep  3-cyc/kstep")
+    for latency in (0, 100, 300, 800, 1500):
+        violations, rate2, rate3 = run_shop(latency)
+        print(f"{latency:>7}  {100 * violations:>11.2f}  "
+              f"{rate2:>11.2f}  {rate3:>11.2f}")
+    print("\nThe violation rate and the monitor's cycle rates rise "
+          "together:\nthe monitor flags unsafe operating points without "
+          "knowing the\napplication's integrity constraints.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Asynchronous SGD with a live anomaly monitor (the Fig 8 story).
+
+Trains a logistic-regression model with fully asynchronous workers for
+the first half of the run, then reinforces consistency (staleness bound
+s=1) halfway — watch the anomaly rate and the loss drop together.  The
+point of the paper: the monitor's cheap cycle counts predict the
+accuracy improvement without ever computing the loss.
+
+Run:  python examples/sgd_monitoring.py
+"""
+
+import random
+
+from repro.ml.async_sgd import AsyncTrainer
+from repro.sim import SimConfig
+from repro.workloads.datasets import synthetic_click_dataset
+
+SWITCH_ROUND = 10
+ROUNDS = 20
+
+
+def main() -> None:
+    dataset = synthetic_click_dataset(
+        num_samples=300, num_features=60, features_per_sample=5,
+        rng=random.Random(1),
+    )
+    trainer = AsyncTrainer(
+        dataset,
+        optimizer="asgd",
+        sim_config=SimConfig(num_workers=16, write_latency=800,
+                             staleness_bound=None, compute_jitter=20, seed=1),
+        learning_rate=0.6,
+        batch_per_round=100,
+        seed=1,
+    )
+    print(f"planted-model loss (target): {trainer.optimum:.4f}")
+    print(f"initial loss:                {trainer.start_loss:.4f}\n")
+    print("round  staleness  loss     2-cyc/kstep  3-cyc/kstep")
+
+    result = trainer.train(
+        rounds=ROUNDS,
+        staleness_schedule={SWITCH_ROUND: 1},
+    )
+    for record in result.rounds:
+        staleness = "async" if record.round_index < SWITCH_ROUND else "s=1"
+        marker = "  <- consistency reinforced" if (
+            record.round_index == SWITCH_ROUND) else ""
+        print(f"{record.round_index:>5}  {staleness:>9}  "
+              f"{record.loss:.4f}  {1000 * record.anomaly_rate_2:>11.2f}  "
+              f"{1000 * record.anomaly_rate_3:>11.2f}{marker}")
+
+    print(f"\nfinal loss: {result.final_loss:.4f} "
+          f"({'converged' if result.converged else 'not converged'})")
+
+
+if __name__ == "__main__":
+    main()

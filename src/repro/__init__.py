@@ -1,0 +1,6 @@
+"""RushMon reproduction: real-time isolation anomalies monitoring.
+
+Public API re-exports live here; see README.md for a tour.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""Benchmark harness: recorded-history replay, measurement, reporting."""
+
+from repro.bench.harness import (
+    SAMPLING_RATES,
+    CollectorMeasurement,
+    HistoryRecorder,
+    RecordedRun,
+    measure_collector,
+    record_graph_workload,
+    record_workload_from_buus,
+    scale,
+)
+from repro.bench.figures import render_loglog
+from repro.bench.reporting import emit, format_table, results_dir
+
+__all__ = [
+    "SAMPLING_RATES",
+    "CollectorMeasurement",
+    "HistoryRecorder",
+    "RecordedRun",
+    "measure_collector",
+    "record_graph_workload",
+    "record_workload_from_buus",
+    "scale",
+    "render_loglog",
+    "emit",
+    "format_table",
+    "results_dir",
+]

@@ -1,0 +1,77 @@
+"""ASCII rendering of figure series (log-log line charts in text).
+
+The paper's figures are log-log line plots; the benches print tables,
+and this module adds a compact visual: each series becomes a row of
+column characters on a log-scaled grid, enough to eyeball the slope and
+crossover structure the paper's claims are about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_loglog(
+    title: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named series over shared x values as an ASCII log-log plot.
+
+    Zero/negative points are dropped (log scale); series may have
+    missing trailing points.
+    """
+    points: list[tuple[float, float, str]] = []
+    glyph_of: dict[str, str] = {}
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        glyph_of[name] = glyph
+        for x, y in zip(x_values, ys):
+            if x > 0 and y is not None and y > 0:
+                points.append((math.log10(x), math.log10(y), glyph))
+    lines = [title]
+    if not points:
+        lines.append("(no positive data to plot)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = glyph
+
+    top_label = f"{10 ** y_hi:.3g}"
+    bottom_label = f"{10 ** y_lo:.3g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2:
+            prefix = y_label.rjust(margin)[:margin]
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    left = f"{10 ** x_lo:.3g}"
+    right = f"{10 ** x_hi:.3g}"
+    axis = left + x_label.center(width - len(left) - len(right)) + right
+    lines.append(" " * (margin + 1) + axis)
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in glyph_of.items())
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Plain-text tables and series for benchmark output.
+
+Every bench regenerates a paper table/figure as rows of text; these
+helpers keep the formatting uniform and write a copy to the results
+directory so the numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table with a title line."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def results_dir() -> str:
+    """benchmarks/results/ next to the repository root (created lazily)."""
+    base = os.environ.get("REPRO_RESULTS_DIR")
+    if base is None:
+        base = os.path.join(os.getcwd(), "benchmarks", "results")
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it to benchmarks/results/<name>.txt."""
+    print()
+    print(text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,256 @@
+"""Command-line interface: run monitored workloads and analyze traces.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro quickstart
+    python -m repro sweep --knob staleness --values 1,2,5,10
+    python -m repro bookstore --latency 500 --purchases 1000
+    python -m repro record --out run.jsonl --buus 500
+    python -m repro analyze run.jsonl --sampling-rate 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.config import RushMonConfig
+from repro.core.monitor import OfflineAnomalyMonitor, RushMon
+from repro.sim import SimConfig, Simulator, read_modify_write
+from repro.sim.traces import Trace
+
+
+def _add_monitor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sampling-rate", type=int, default=1,
+                        help="item sampling rate sr (p = 1/sr)")
+    parser.add_argument("--no-mob", action="store_true",
+                        help="disable memory-optimized bookkeeping")
+    parser.add_argument("--pruning", default="both",
+                        choices=["none", "ect", "distance", "both"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _monitor_from(args: argparse.Namespace) -> RushMon:
+    return RushMon(RushMonConfig(
+        sampling_rate=args.sampling_rate,
+        mob=not args.no_mob,
+        pruning=args.pruning,
+        seed=args.seed,
+    ))
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=16)
+    parser.add_argument("--latency", type=int, default=100,
+                        help="write visibility latency (simulator steps)")
+    parser.add_argument("--staleness", type=int, default=0,
+                        help="staleness bound s (0 = unbounded)")
+    parser.add_argument("--jitter", type=int, default=10,
+                        help="compute-time jitter between reads and writes")
+    parser.add_argument("--isolation", default="none",
+                        choices=["none", "serializable", "snapshot"])
+
+
+def _sim_config(args: argparse.Namespace) -> SimConfig:
+    return SimConfig(
+        num_workers=args.workers,
+        write_latency=args.latency,
+        staleness_bound=args.staleness or None,
+        compute_jitter=args.jitter,
+        isolation=args.isolation,
+        seed=args.seed,
+    )
+
+
+def _counter_buus(count: int, keys: int, touch: int, seed: int):
+    rng = random.Random(seed)
+    for _ in range(count):
+        picked = rng.sample(range(keys), min(touch, keys))
+        yield read_modify_write([f"k{k}" for k in picked],
+                                lambda v: (v or 0) + 1)
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    """Run a monitored toy workload and print windowed reports."""
+    monitor = _monitor_from(args)
+    sim = Simulator(_sim_config(args), listeners=[monitor])
+    print("window  ops   est 2-cycles  est 3-cycles  top pattern")
+    for window in range(args.windows):
+        sim.run(_counter_buus(args.buus, args.keys, args.touch,
+                              args.seed + window))
+        report = monitor.report(sim.now)
+        top = max(report.patterns, key=report.patterns.get) \
+            if report.patterns else "-"
+        print(f"{window:>6}  {report.operations:>4}  "
+              f"{report.estimated_2:>12.1f}  {report.estimated_3:>12.1f}  {top}")
+    e2, e3 = monitor.cumulative_estimates()
+    print(f"\ntotal: {e2:.0f} two-cycles, {e3:.0f} three-cycles "
+          f"({monitor.detector.num_vertices} live vertices after pruning)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep one chaos knob and print anomaly estimates per value."""
+    values = [int(v) for v in args.values.split(",")]
+    print(f"{args.knob:>10}  est 2-cyc  est 3-cyc  per-kstep")
+    for value in values:
+        monitor = _monitor_from(args)
+        config = _sim_config(args)
+        if args.knob == "staleness":
+            config.staleness_bound = value or None
+        elif args.knob == "latency":
+            config.write_latency = value
+        elif args.knob == "workers":
+            config.num_workers = value
+        sim = Simulator(config, listeners=[monitor])
+        sim.run(_counter_buus(args.buus, args.keys, args.touch, args.seed))
+        e2, e3 = monitor.cumulative_estimates()
+        rate = 1000 * (e2 + e3) / max(1, sim.now)
+        print(f"{value:>10}  {e2:>9.0f}  {e3:>9.0f}  {rate:>9.2f}")
+    return 0
+
+
+def cmd_bookstore(args: argparse.Namespace) -> int:
+    """Run the Fig 11 bookstore and print violations vs anomalies."""
+    from repro.workloads.bookstore import Bookstore, BookstoreConfig
+
+    monitor = _monitor_from(args)
+    shop = Bookstore(
+        BookstoreConfig(num_books=args.books, customers=args.workers,
+                        books_per_order=args.order_size,
+                        initial_stock=args.stock, seed=args.seed),
+        _sim_config(args),
+    )
+    shop.simulator.subscribe(monitor)
+    counter = shop.run(args.purchases)
+    e2, e3 = monitor.cumulative_estimates()
+    print(f"purchases: {args.purchases}")
+    print(f"violation rate: {100 * counter.violation_rate:.2f}%")
+    print(f"estimated anomalies: {e2:.0f} two-cycles, {e3:.0f} three-cycles")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """Record an execution trace to a JSONL file."""
+    trace = Trace()
+    sim = Simulator(_sim_config(args), listeners=[trace])
+    sim.run(_counter_buus(args.buus, args.keys, args.touch, args.seed))
+    trace.save(args.out)
+    print(f"recorded {len(trace.ops)} operations "
+          f"({len(trace.commits)} BUUs) to {args.out}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Replay a trace through the monitor and print exact vs estimated."""
+    trace = Trace.load(args.trace)
+    monitor = _monitor_from(args)
+    offline = OfflineAnomalyMonitor()
+    trace.replay([monitor, offline])
+    e2, e3 = monitor.cumulative_estimates()
+    exact = offline.exact_counts()
+    print(f"operations: {len(trace.ops)}   BUUs: {len(trace.commits)}")
+    print(f"exact:     {exact.two_cycles} two-cycles, "
+          f"{exact.three_cycles} three-cycles")
+    print(f"estimated: {e2:.1f} two-cycles, {e3:.1f} three-cycles "
+          f"(sr={args.sampling_rate})")
+    patterns = monitor.detector.patterns.as_dict()
+    if patterns:
+        print("sampled 2-cycle patterns:")
+        for name, count in sorted(patterns.items(), key=lambda kv: -kv[1]):
+            print(f"  {name}: {count}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Offline serializability check of a recorded trace."""
+    from repro.core.serializability import check_history
+
+    trace = Trace.load(args.trace)
+    verdict = check_history(trace.ops, max_witnesses=args.witnesses)
+    if verdict.serializable:
+        print("serializable: yes")
+        head = ", ".join(str(b) for b in verdict.serial_order[:12])
+        more = "..." if len(verdict.serial_order) > 12 else ""
+        print(f"witness serial order: {head}{more}")
+        return 0
+    print("serializable: NO")
+    for cycle in verdict.violations:
+        print("  violating cycle: " + " -> ".join(str(b) for b in cycle))
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RushMon reproduction: real-time isolation anomaly "
+                    "monitoring on a simulated weak-isolation system.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="monitor a toy workload")
+    _add_monitor_args(quick)
+    _add_sim_args(quick)
+    quick.add_argument("--windows", type=int, default=5)
+    quick.add_argument("--buus", type=int, default=400)
+    quick.add_argument("--keys", type=int, default=20)
+    quick.add_argument("--touch", type=int, default=2)
+    quick.set_defaults(func=cmd_quickstart)
+
+    sweep = sub.add_parser("sweep", help="sweep one chaos knob")
+    _add_monitor_args(sweep)
+    _add_sim_args(sweep)
+    sweep.add_argument("--knob", default="staleness",
+                       choices=["staleness", "latency", "workers"])
+    sweep.add_argument("--values", default="1,2,5,10,0",
+                       help="comma-separated values (0 = unbounded staleness)")
+    sweep.add_argument("--buus", type=int, default=600)
+    sweep.add_argument("--keys", type=int, default=40)
+    sweep.add_argument("--touch", type=int, default=3)
+    sweep.set_defaults(func=cmd_sweep)
+
+    shop = sub.add_parser("bookstore", help="the Fig 11 bookstore workload")
+    _add_monitor_args(shop)
+    _add_sim_args(shop)
+    shop.add_argument("--books", type=int, default=60)
+    shop.add_argument("--order-size", type=int, default=3)
+    shop.add_argument("--stock", type=int, default=3)
+    shop.add_argument("--purchases", type=int, default=1000)
+    shop.set_defaults(func=cmd_bookstore)
+
+    rec = sub.add_parser("record", help="record an execution trace (JSONL)")
+    _add_monitor_args(rec)
+    _add_sim_args(rec)
+    rec.add_argument("--out", required=True)
+    rec.add_argument("--buus", type=int, default=500)
+    rec.add_argument("--keys", type=int, default=30)
+    rec.add_argument("--touch", type=int, default=3)
+    rec.set_defaults(func=cmd_record)
+
+    ana = sub.add_parser("analyze", help="replay a trace through the monitor")
+    _add_monitor_args(ana)
+    ana.add_argument("trace")
+    ana.set_defaults(func=cmd_analyze)
+
+    chk = sub.add_parser(
+        "check", help="offline serializability check of a trace"
+    )
+    chk.add_argument("trace")
+    chk.add_argument("--witnesses", type=int, default=3,
+                     help="max violating cycles to print")
+    chk.set_defaults(func=cmd_check)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""RushMon core: collectors, estimator, detector, pruning, monitor."""
+
+from repro.core.collector import (
+    BaselineCollector,
+    Collector,
+    DataCentricCollector,
+    EdgeSamplingCollector,
+    ItemSampler,
+)
+from repro.core.config import RushMonConfig
+from repro.core.controller import (
+    AnomalyController,
+    ControllerDecision,
+    DEFAULT_LADDER,
+)
+from repro.core.detector import CycleDetector, LiveGraph
+from repro.core.estimator import (
+    estimate_edge_sampled_three_cycles,
+    estimate_edge_sampled_two_cycles,
+    estimate_three_cycles,
+    estimate_two_cycles,
+)
+from repro.core.monitor import OfflineAnomalyMonitor, RushMon
+from repro.core.patterns import (
+    AnomalyPattern,
+    PatternCounts,
+    classify_two_cycle,
+)
+from repro.core.prediction import ConvergencePredictor, rank_correlation
+from repro.core.serializability import (
+    SerializabilityVerdict,
+    check_graph,
+    check_history,
+    witness_is_valid,
+)
+from repro.core.windows import EwmaRate, SlidingWindowRate, report_rate
+from repro.core.pruning import (
+    CombinedPruning,
+    DistancePruning,
+    EctPruning,
+    NoPruning,
+    Pruner,
+    make_pruner,
+)
+from repro.core.types import (
+    AnomalyReport,
+    BuuId,
+    BuuInfo,
+    CycleCounts,
+    Edge,
+    EdgeStats,
+    EdgeType,
+    Key,
+    Operation,
+    OpType,
+)
+
+__all__ = [
+    "BaselineCollector",
+    "Collector",
+    "DataCentricCollector",
+    "EdgeSamplingCollector",
+    "ItemSampler",
+    "RushMonConfig",
+    "AnomalyController",
+    "ControllerDecision",
+    "DEFAULT_LADDER",
+    "AnomalyPattern",
+    "PatternCounts",
+    "classify_two_cycle",
+    "ConvergencePredictor",
+    "SerializabilityVerdict",
+    "check_graph",
+    "check_history",
+    "witness_is_valid",
+    "rank_correlation",
+    "EwmaRate",
+    "SlidingWindowRate",
+    "report_rate",
+    "CycleDetector",
+    "LiveGraph",
+    "estimate_edge_sampled_three_cycles",
+    "estimate_edge_sampled_two_cycles",
+    "estimate_three_cycles",
+    "estimate_two_cycles",
+    "OfflineAnomalyMonitor",
+    "RushMon",
+    "CombinedPruning",
+    "DistancePruning",
+    "EctPruning",
+    "NoPruning",
+    "Pruner",
+    "make_pruner",
+    "AnomalyReport",
+    "BuuId",
+    "BuuInfo",
+    "CycleCounts",
+    "Edge",
+    "EdgeStats",
+    "EdgeType",
+    "Key",
+    "Operation",
+    "OpType",
+]

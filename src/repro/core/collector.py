@@ -1,0 +1,363 @@
+"""Record collectors: from operation streams to dependency-graph edges.
+
+Three collectors, matching the paper's comparison (Fig 18):
+
+- :class:`BaselineCollector` ("US", unsampled) — Algorithm 1.  Full
+  per-item bookkeeping (``lastWrite`` + a ``readIDs`` set), every edge
+  reported.
+- :class:`EdgeSamplingCollector` ("ES") — the strawman of Section 4.2.
+  Identical full bookkeeping, but each derived edge is kept with
+  probability ``1/sr``.  The point the paper makes — and this class
+  demonstrates — is that ES pays the same bookkeeping cost as US.
+- :class:`DataCentricCollector` ("DCS") — Section 5: data items are
+  sampled up front with probability ``p = 1/sr`` and only sampled items
+  pay any bookkeeping.  Optionally uses memory-optimized bookkeeping
+  (MOB, Algorithm 2): a single reservoir-sampled read slot replaces the
+  ``readIDs`` set, and ``ww`` edges are discarded at the observed
+  read-discard ratio to keep edge-type proportions calibrated (§5.2).
+
+Collectors expose ``touches`` — the number of operations that actually
+performed bookkeeping — as a machine-independent overhead proxy; the
+benches additionally measure wall time.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.types import BuuId, Edge, EdgeStats, EdgeType, Key, Operation
+
+
+@dataclass
+class _FullItemState:
+    """Per-item auxiliary state for Algorithm 1 (baseline / ES)."""
+
+    last_write: BuuId | None = None
+    read_ids: set[BuuId] = field(default_factory=set)
+
+
+@dataclass
+class _MobItemState:
+    """Per-item auxiliary state for Algorithm 2 (MOB): a fixed-length
+    read array (the paper sizes it by the expected ~2 reads between
+    consecutive writes, §5.2) plus the running read count."""
+
+    last_write: BuuId | None = None
+    reads: list[BuuId] = field(default_factory=list)
+    count: int = 0
+
+
+class Collector:
+    """Base interface: feed operations in visibility order, get edges out."""
+
+    def __init__(self) -> None:
+        self.stats = EdgeStats()
+        self.touches = 0
+        self.ops_seen = 0
+
+    def handle(self, op: Operation) -> list[Edge]:
+        raise NotImplementedError
+
+    def handle_all(self, ops: Iterable[Operation]) -> list[Edge]:
+        edges: list[Edge] = []
+        for op in ops:
+            edges.extend(self.handle(op))
+        return edges
+
+    @property
+    def sampling_probability(self) -> float:
+        """Probability that any given edge survives collection (for the
+        estimator).  1.0 for the unsampled baseline."""
+        return 1.0
+
+    def _emit(self, src: BuuId | None, dst: BuuId, kind: EdgeType, op: Operation,
+              out: list[Edge]) -> None:
+        """Append an edge unless it is degenerate (no source / self-edge)."""
+        if src is None or src == dst:
+            return
+        self.stats.record(kind)
+        out.append(Edge(src, dst, kind, op.key, op.seq))
+
+
+class BaselineCollector(Collector):
+    """Algorithm 1: exact, unsampled edge collection ("US")."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._items: dict[Key, _FullItemState] = {}
+
+    def handle(self, op: Operation) -> list[Edge]:
+        self.ops_seen += 1
+        self.touches += 1
+        state = self._items.get(op.key)
+        if state is None:
+            state = _FullItemState()
+            self._items[op.key] = state
+        out: list[Edge] = []
+        if op.is_read():
+            self._emit(state.last_write, op.buu, EdgeType.WR, op, out)
+            state.read_ids.add(op.buu)
+        else:
+            if not state.read_ids:
+                self._emit(state.last_write, op.buu, EdgeType.WW, op, out)
+            else:
+                for reader in state.read_ids:
+                    self._emit(reader, op.buu, EdgeType.RW, op, out)
+            state.read_ids.clear()
+            state.last_write = op.buu
+        return out
+
+
+class EdgeSamplingCollector(BaselineCollector):
+    """Section 4.2's strawman: uniform per-edge sampling ("ES").
+
+    Bookkeeping is *identical* to the baseline — the coin is tossed only
+    once the (later) operation reveals the edge, by which time the earlier
+    operation's information already had to be recorded.  ``touches``
+    therefore equals the baseline's, which is the paper's argument for
+    why ES cannot mitigate collector overhead.
+    """
+
+    def __init__(self, sampling_rate: int, rng: random.Random | None = None) -> None:
+        super().__init__()
+        if sampling_rate < 1:
+            raise ValueError("sampling_rate must be >= 1")
+        self.sampling_rate = sampling_rate
+        self._rng = rng or random.Random(0)
+
+    @property
+    def sampling_probability(self) -> float:
+        return 1.0 / self.sampling_rate
+
+    def handle(self, op: Operation) -> list[Edge]:
+        edges = super().handle(op)
+        if self.sampling_rate == 1:
+            return edges
+        kept = [e for e in edges if self._rng.random() < self.sampling_probability]
+        # stats recorded pre-sampling by the parent; rebuild post-sample
+        # counts so downstream reports reflect what was actually emitted.
+        for edge in edges:
+            if edge not in kept:
+                self._unrecord(edge.kind)
+        return kept
+
+    def _unrecord(self, kind: EdgeType) -> None:
+        if kind is EdgeType.WR:
+            self.stats.wr -= 1
+        elif kind is EdgeType.WW:
+            self.stats.ww -= 1
+        else:
+            self.stats.rw -= 1
+
+
+def _splitmix64(x: int) -> int:
+    """SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation.
+
+    The sampler must include items *independently* — Theorem 5.2's dd/ddd
+    inverse weights assume distinct labels are sampled with probability
+    ``p**2`` / ``p**3``.  A plain CRC is linear over GF(2) (its low bit
+    across related keys is perfectly correlated, which empirically turns
+    the sample into an exactly-half split and biases the estimator low),
+    so every hash is passed through this non-linear finalizer.
+    """
+    mask = (1 << 64) - 1
+    x &= mask
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & mask
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & mask
+    return x ^ (x >> 31)
+
+
+class ItemSampler:
+    """Deterministic membership test for the chosen-item sample (§5.1).
+
+    Each distinct key is included with probability ``p = 1/sr``,
+    *independently* across keys (a requirement of the Theorem 5.2
+    estimator — see :func:`_splitmix64`).  If the item universe is known
+    up front, :meth:`materialize` precomputes the chosen set for O(1)
+    membership; otherwise inclusion is decided per key by a salted stable
+    hash.  ``reseed`` switches to a fresh independent sample (periodic
+    re-sampling, §5.1 "reducing systematic variance").
+    """
+
+    def __init__(self, sampling_rate: int, seed: int = 0) -> None:
+        if sampling_rate < 1:
+            raise ValueError("sampling_rate must be >= 1")
+        self.sampling_rate = sampling_rate
+        self._salt = seed
+        self._chosen: set[Key] | None = None
+        self._universe: list[Key] | None = None
+
+    @property
+    def probability(self) -> float:
+        return 1.0 / self.sampling_rate
+
+    def materialize(self, universe: Iterable[Key]) -> None:
+        self._universe = list(universe)
+        self._resample_materialized()
+
+    def _resample_materialized(self) -> None:
+        assert self._universe is not None
+        if self.sampling_rate == 1:
+            self._chosen = set(self._universe)
+            return
+        # Independent Bernoulli(p) per item — NOT a fixed-size sample,
+        # which would negatively correlate inclusions and bias E2/E3 low.
+        rng = random.Random(self._salt)
+        p = self.probability
+        self._chosen = {key for key in self._universe if rng.random() < p}
+
+    def reseed(self, new_salt: int) -> None:
+        self._salt = new_salt
+        if self._universe is not None:
+            self._resample_materialized()
+
+    def chosen(self, key: Key) -> bool:
+        if self.sampling_rate == 1:
+            return True
+        if self._chosen is not None:
+            return key in self._chosen
+        digest = zlib.crc32(repr(key).encode())
+        mixed = _splitmix64(digest ^ (self._salt * 0x9E3779B97F4A7C15))
+        return mixed % self.sampling_rate == 0
+
+
+class DataCentricCollector(Collector):
+    """Section 5's collector: data-centric sampling + optional MOB.
+
+    Parameters
+    ----------
+    sampling_rate:
+        The paper's ``sr``; each data item is chosen with ``p = 1/sr``.
+    mob:
+        Use memory-optimized bookkeeping (Algorithm 2's fixed-length
+        reservoir) instead of a full ``readIDs`` set.  Fig 19-22 compare
+        both.
+    mob_slots:
+        Length of the fixed read array.  §5.2 derives that ~2 reads sit
+        between consecutive writes in a random r/w mix, so 2 is the
+        default; 1 reproduces the single-slot pseudo-code of Algorithm 2
+        verbatim (and loses the cycles whose surviving read belongs to
+        the writer itself).
+    items:
+        Optional known item universe for an exact up-front sample.
+    resample_interval:
+        If set, re-sample the chosen items every this many operations
+        (§5.1, "reducing systematic variance").  Item states reset on each
+        switch; the empty ``lastWrite`` acts as the warm-up phase.
+    """
+
+    def __init__(
+        self,
+        sampling_rate: int = 1,
+        mob: bool = True,
+        items: Iterable[Key] | None = None,
+        seed: int = 0,
+        resample_interval: int | None = None,
+        mob_slots: int = 2,
+    ) -> None:
+        super().__init__()
+        if mob_slots < 1:
+            raise ValueError("mob_slots must be >= 1")
+        self.mob = mob
+        self.mob_slots = mob_slots
+        self.sampler = ItemSampler(sampling_rate, seed)
+        if items is not None:
+            self.sampler.materialize(items)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._mob_items: dict[Key, _MobItemState] = {}
+        self._full_items: dict[Key, _FullItemState] = {}
+        self._resample_interval = resample_interval
+        self._resample_epoch = 0
+        # ww-edge calibration (§5.2): ratio of reads MOB discarded.
+        self.total_reads = 0
+        self.discarded_reads = 0
+
+    @property
+    def sampling_rate(self) -> int:
+        return self.sampler.sampling_rate
+
+    @property
+    def sampling_probability(self) -> float:
+        return self.sampler.probability
+
+    @property
+    def discard_ratio(self) -> float:
+        """Fraction of observed reads whose rw edge MOB dropped."""
+        if self.total_reads == 0:
+            return 0.0
+        return self.discarded_reads / self.total_reads
+
+    def handle(self, op: Operation) -> list[Edge]:
+        self.ops_seen += 1
+        edges: list[Edge] = []
+        if self.sampler.chosen(op.key):
+            self.touches += 1
+            edges = self._handle_mob(op) if self.mob else self._handle_full(op)
+        if self._resample_interval and self.ops_seen % self._resample_interval == 0:
+            self._switch_sample()
+        return edges
+
+    def _switch_sample(self) -> None:
+        self._resample_epoch += 1
+        self.sampler.reseed(self._resample_epoch * 0x9E3779B1 + 1)
+        self._mob_items.clear()
+        self._full_items.clear()
+
+    # -- Algorithm 2 (MOB) -------------------------------------------------
+
+    def _handle_mob(self, op: Operation) -> list[Edge]:
+        state = self._mob_items.get(op.key)
+        if state is None:
+            state = _MobItemState()
+            self._mob_items[op.key] = state
+        out: list[Edge] = []
+        if op.is_read():
+            self.total_reads += 1
+            state.count += 1
+            # Reservoir sampling into the fixed-length array: the first
+            # `slots` reads fill it; the i-th read thereafter replaces a
+            # random slot with probability slots/i (Vitter's Algorithm R).
+            if len(state.reads) < self.mob_slots:
+                state.reads.append(op.buu)
+            elif self._rng.random() < self.mob_slots / state.count:
+                state.reads[self._rng.randrange(self.mob_slots)] = op.buu
+            self._emit(state.last_write, op.buu, EdgeType.WR, op, out)
+        else:
+            if state.count == 0:
+                # §5.2 calibration: rw edges were thinned, so thin ww
+                # edges at the same observed discard ratio.
+                if self._rng.random() >= self.discard_ratio:
+                    self._emit(state.last_write, op.buu, EdgeType.WW, op, out)
+            else:
+                self.discarded_reads += state.count - len(state.reads)
+                for reader in dict.fromkeys(state.reads):
+                    self._emit(reader, op.buu, EdgeType.RW, op, out)
+            state.reads = []
+            state.count = 0
+            state.last_write = op.buu
+        return out
+
+    # -- full readIDs bookkeeping (DCS without MOB) --------------------------
+
+    def _handle_full(self, op: Operation) -> list[Edge]:
+        state = self._full_items.get(op.key)
+        if state is None:
+            state = _FullItemState()
+            self._full_items[op.key] = state
+        out: list[Edge] = []
+        if op.is_read():
+            self.total_reads += 1
+            self._emit(state.last_write, op.buu, EdgeType.WR, op, out)
+            state.read_ids.add(op.buu)
+        else:
+            if not state.read_ids:
+                self._emit(state.last_write, op.buu, EdgeType.WW, op, out)
+            else:
+                for reader in state.read_ids:
+                    self._emit(reader, op.buu, EdgeType.RW, op, out)
+            state.read_ids.clear()
+            state.last_write = op.buu
+        return out

@@ -1,0 +1,49 @@
+"""Configuration for the RushMon monitor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RushMonConfig:
+    """Tunables for :class:`~repro.core.monitor.RushMon`.
+
+    Attributes
+    ----------
+    sampling_rate:
+        The paper's ``sr``: each data item is sampled with ``p = 1/sr``.
+        ``1`` disables sampling (the "US" configuration).
+    mob:
+        Memory-optimized bookkeeping (Algorithm 2).  On by default, as in
+        the paper's deployed configuration.
+    pruning:
+        Detector vertex-pruning strategy: ``"none"``, ``"ect"``,
+        ``"distance"`` or ``"both"`` (paper default).
+    prune_interval:
+        Edges between periodic pruning passes.
+    resample_interval:
+        Operations between chosen-item re-samples (§5.1 variance
+        reduction); ``None`` disables.  The paper uses a 30-second wall
+        interval; logical operations are this reproduction's clock.
+    count_three_cycles:
+        Disable to monitor only 2-cycles.
+    seed:
+        Seed for all of the monitor's internal randomness.
+    """
+
+    sampling_rate: int = 20
+    mob: bool = True
+    pruning: str = "both"
+    prune_interval: int = 1000
+    resample_interval: int | None = None
+    count_three_cycles: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate < 1:
+            raise ValueError("sampling_rate must be >= 1")
+        if self.prune_interval < 1:
+            raise ValueError("prune_interval must be >= 1")
+        if self.resample_interval is not None and self.resample_interval < 1:
+            raise ValueError("resample_interval must be >= 1 or None")

@@ -1,0 +1,101 @@
+"""Closed-loop consistency tuning from anomaly reports (Fig 1 / §8).
+
+The paper's vision (Fig 1) is a system that *adjusts* its configuration
+from the monitor's real-time reports; §8 lists automatic control as the
+first future direction.  :class:`AnomalyController` is the simplest
+useful realisation: a ladder of staleness bounds with a hysteresis band
+on the windowed anomaly rate.
+
+- rate above ``upper`` → step one rung tighter (smaller bound);
+- rate below ``lower`` → step one rung looser (more asynchrony,
+  recovering throughput);
+- in between → hold.
+
+Hysteresis (``lower < upper``) prevents oscillation; a per-decision
+cooldown lets the system settle between moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import AnomalyReport
+
+#: Default ladder, tightest first.  ``None`` is fully asynchronous.
+DEFAULT_LADDER: tuple[int | None, ...] = (1, 2, 3, 5, 10, None)
+
+
+@dataclass
+class ControllerDecision:
+    """One control step: the observed rate and the action taken."""
+
+    rate: float
+    bound: int | None
+    action: str  # "tighten" | "relax" | "hold"
+
+
+@dataclass
+class AnomalyController:
+    """Hysteresis controller over a staleness-bound ladder.
+
+    Parameters
+    ----------
+    upper, lower:
+        Anomaly-rate band (anomalies per unit simulated time).  Above
+        ``upper`` the controller tightens; below ``lower`` it relaxes.
+    ladder:
+        Candidate staleness bounds, tightest first.
+    start_position:
+        Index into the ladder to start from (default: loosest).
+    cooldown:
+        Minimum number of observations between two consecutive moves.
+    """
+
+    upper: float
+    lower: float
+    ladder: tuple[int | None, ...] = DEFAULT_LADDER
+    start_position: int | None = None
+    cooldown: int = 0
+    history: list[ControllerDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("ladder must not be empty")
+        if self.lower > self.upper:
+            raise ValueError("lower must be <= upper")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self._position = (
+            len(self.ladder) - 1 if self.start_position is None
+            else self.start_position
+        )
+        if not 0 <= self._position < len(self.ladder):
+            raise ValueError("start_position out of range")
+        self._since_move = self.cooldown  # allow an immediate first move
+
+    @property
+    def bound(self) -> int | None:
+        """The staleness bound currently recommended."""
+        return self.ladder[self._position]
+
+    def observe(self, report: AnomalyReport) -> ControllerDecision:
+        """Feed one monitoring window; returns the decision made."""
+        window = max(1, report.window_end - report.window_start)
+        return self.observe_rate(report.anomalies / window)
+
+    def observe_rate(self, rate: float) -> ControllerDecision:
+        action = "hold"
+        self._since_move += 1
+        if self._since_move > self.cooldown:
+            if rate > self.upper and self._position > 0:
+                self._position -= 1
+                action = "tighten"
+                self._since_move = 0
+            elif rate < self.lower and self._position < len(self.ladder) - 1:
+                self._position += 1
+                action = "relax"
+                self._since_move = 0
+        decision = ControllerDecision(rate=rate, bound=self.bound,
+                                      action=action)
+        self.history.append(decision)
+        return decision

@@ -1,0 +1,220 @@
+"""The real-time cycle detector (det): streaming 2-/3-cycle counting.
+
+The detector maintains a *live* dependency graph — the part that can still
+participate in new cycles — and, for every arriving edge, counts the new
+2- and 3-cycles that edge closes, classified by label multiset for the
+estimator.  Each cycle is attributed to the arrival of its last edge, so
+cumulative and windowed counts never double count.
+
+Vertex pruning (:mod:`repro.core.pruning`) operates on the detector's
+:class:`LiveGraph`; pruned vertices lose their adjacency but their commit
+times are retained (cheap ints) so pruning decisions stay well defined.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.patterns import PatternCounts, classify_two_cycle
+from repro.core.types import BuuId, CycleCounts, Edge, EdgeType, Key
+
+
+class LiveGraph:
+    """Adjacency + vertex lifetimes for the streaming detector.
+
+    ``labels[(u, v)]`` maps each item label of a parallel edge
+    ``u -> v`` to that edge's type (wr/ww/rw, used for anomaly-pattern
+    classification).  ``starts`` / ``commits`` record BUU lifetimes for
+    pruning; ``alive`` is the set of started-but-uncommitted BUUs.
+    """
+
+    def __init__(self) -> None:
+        self.labels: dict[tuple[BuuId, BuuId], dict[Key, EdgeType]] = {}
+        self.out: dict[BuuId, set[BuuId]] = defaultdict(set)
+        self.inc: dict[BuuId, set[BuuId]] = defaultdict(set)
+        self.present: set[BuuId] = set()
+        self.starts: dict[BuuId, int] = {}
+        self.commits: dict[BuuId, int] = {}
+        self.alive: set[BuuId] = set()
+        self.edge_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, buu: BuuId, start_time: int) -> None:
+        self.starts.setdefault(buu, start_time)
+        self.alive.add(buu)
+
+    def commit(self, buu: BuuId, commit_time: int) -> None:
+        self.commits[buu] = commit_time
+        self.alive.discard(buu)
+
+    def active_time(self, default: int = 0) -> float:
+        """The paper's ``t_active``: earliest start among alive vertices."""
+        if not self.alive:
+            return float(default)
+        return float(min(self.starts.get(v, default) for v in self.alive))
+
+    def commit_time(self, buu: BuuId) -> float:
+        return float(self.commits.get(buu, float("inf")))
+
+    # -- structure -----------------------------------------------------------
+
+    def add_edge(self, src: BuuId, dst: BuuId, label: Key,
+                 kind: EdgeType = EdgeType.WR) -> bool:
+        """Insert an edge; returns False for self-loops and duplicates."""
+        if src == dst:
+            return False
+        key = (src, dst)
+        labels = self.labels.get(key)
+        if labels is None:
+            labels = {}
+            self.labels[key] = labels
+        if label in labels:
+            return False
+        labels[label] = kind
+        self.out[src].add(dst)
+        self.inc[dst].add(src)
+        self.present.add(src)
+        self.present.add(dst)
+        self.edge_count += 1
+        return True
+
+    def edge_labels(self, src: BuuId, dst: BuuId):
+        """The labels of parallel edges src -> dst (a set-like view)."""
+        return self.labels.get((src, dst), {}).keys()
+
+    def edge_kind(self, src: BuuId, dst: BuuId, label: Key) -> EdgeType | None:
+        return self.labels.get((src, dst), {}).get(label)
+
+    def remove_vertex(self, v: BuuId) -> None:
+        for succ in list(self.out.get(v, ())):
+            self.edge_count -= len(self.labels.pop((v, succ), ()))
+            self.inc[succ].discard(v)
+        for pred in list(self.inc.get(v, ())):
+            self.edge_count -= len(self.labels.pop((pred, v), ()))
+            self.out[pred].discard(v)
+        self.out.pop(v, None)
+        self.inc.pop(v, None)
+        self.present.discard(v)
+
+    def num_vertices(self) -> int:
+        return len(self.present)
+
+    def num_edges(self) -> int:
+        return self.edge_count
+
+
+class CycleDetector:
+    """Streaming detector counting new 2-/3-cycles per incoming edge.
+
+    Parameters
+    ----------
+    pruner:
+        A pruning strategy from :mod:`repro.core.pruning` (or None).
+        Pruning is invoked every ``prune_interval`` edges and on demand
+        via :meth:`prune`.
+    count_three:
+        Disable to count only 2-cycles (cheaper; used by ablations).
+    """
+
+    def __init__(self, pruner=None, prune_interval: int = 1000,
+                 count_three: bool = True) -> None:
+        self.graph = LiveGraph()
+        self.counts = CycleCounts()
+        self.patterns = PatternCounts()
+        self.pruner = pruner
+        self.prune_interval = prune_interval
+        self.count_three = count_three
+        self._edges_since_prune = 0
+        self.prune_passes = 0
+
+    # -- BUU lifecycle forwarded to the live graph ---------------------------
+
+    def begin_buu(self, buu: BuuId, start_time: int) -> None:
+        self.graph.begin(buu, start_time)
+
+    def commit_buu(self, buu: BuuId, commit_time: int) -> None:
+        self.graph.commit(buu, commit_time)
+        if self.pruner is not None:
+            self.pruner.on_commit(self.graph, buu)
+
+    # -- edge ingestion ------------------------------------------------------
+
+    def add_edge(self, edge: Edge) -> CycleCounts:
+        """Ingest one edge; returns the new cycles it closed (also
+        accumulated into :attr:`counts`)."""
+        new = CycleCounts()
+        if not self.graph.add_edge(edge.src, edge.dst, edge.label, edge.kind):
+            return new
+        self._count_new_cycles(edge.src, edge.dst, edge.label, edge.kind, new)
+        self.counts.add(new)
+        self._edges_since_prune += 1
+        if self.pruner is not None and self._edges_since_prune >= self.prune_interval:
+            self.prune(now=edge.seq)
+        return new
+
+    def add_edges(self, edges) -> CycleCounts:
+        total = CycleCounts()
+        for edge in edges:
+            total.add(self.add_edge(edge))
+        return total
+
+    def _count_new_cycles(self, u: BuuId, v: BuuId, label: Key,
+                          kind: EdgeType, new: CycleCounts) -> None:
+        graph = self.graph
+        # 2-cycles: new edge u->v pairs with every existing v->u label.
+        for back_label, back_kind in graph.labels.get((v, u), {}).items():
+            if back_label == label:
+                new.ss += 1
+            else:
+                new.dd += 1
+            self.patterns.record(
+                classify_two_cycle(kind, label, back_kind, back_label)
+            )
+        if not self.count_three:
+            return
+        # 3-cycles: u->v (new) closes triangles with existing v->w, w->u.
+        out_v = graph.out.get(v)
+        in_u = graph.inc.get(u)
+        if not out_v or not in_u:
+            return
+        if len(out_v) > len(in_u):
+            candidates = in_u & out_v
+        else:
+            candidates = out_v & in_u
+        for w in candidates:
+            if w == u or w == v:
+                continue
+            a_labels = graph.edge_labels(v, w)
+            b_labels = graph.edge_labels(w, u)
+            na, nb = len(a_labels), len(b_labels)
+            l_in_a = 1 if label in a_labels else 0
+            l_in_b = 1 if label in b_labels else 0
+            sss = l_in_a * l_in_b
+            same_ab = len(a_labels & b_labels)
+            ssd = (
+                l_in_a * (nb - l_in_b)
+                + l_in_b * (na - l_in_a)
+                + (same_ab - sss)
+            )
+            new.sss += sss
+            new.ssd += ssd
+            new.ddd += na * nb - sss - ssd
+
+    # -- maintenance -----------------------------------------------------------
+
+    def prune(self, now: int) -> int:
+        """Run the configured pruner; returns vertices removed."""
+        self._edges_since_prune = 0
+        if self.pruner is None:
+            return 0
+        self.prune_passes += 1
+        return self.pruner.prune(self.graph, now)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges()

@@ -1,0 +1,51 @@
+"""Unbiased cycle-count estimators (Theorem 5.2).
+
+Data-centric sampling keeps *all* edges on a chosen item, so edges are not
+independent: a 2-cycle whose two edges share a label survives sampling
+with probability ``p`` (one coin), while one with distinct labels needs
+two coins (``p**2``).  The estimator therefore inverse-weights each label
+class separately:
+
+    E2 = c_ss / p + c_dd / p**2
+    E3 = c_sss / p + c_ssd / p**2 + c_ddd / p**3
+
+For conventional independent edge sampling every edge is its own coin, so
+a k-cycle survives with probability ``p**k`` regardless of labels.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import CycleCounts
+
+
+def estimate_two_cycles(counts: CycleCounts, probability: float) -> float:
+    """Unbiased estimate of the number of 2-cycles from sampled counts."""
+    _check_probability(probability)
+    return counts.ss / probability + counts.dd / probability**2
+
+
+def estimate_three_cycles(counts: CycleCounts, probability: float) -> float:
+    """Unbiased estimate of the number of 3-cycles from sampled counts."""
+    _check_probability(probability)
+    return (
+        counts.sss / probability
+        + counts.ssd / probability**2
+        + counts.ddd / probability**3
+    )
+
+
+def estimate_edge_sampled_two_cycles(counts: CycleCounts, probability: float) -> float:
+    """Estimator for *independent* edge sampling: every edge is a coin."""
+    _check_probability(probability)
+    return counts.two_cycles / probability**2
+
+
+def estimate_edge_sampled_three_cycles(counts: CycleCounts, probability: float) -> float:
+    """Independent-edge-sampling estimator for 3-cycles (1/p**3 per cycle)."""
+    _check_probability(probability)
+    return counts.three_cycles / probability**3
+
+
+def _check_probability(probability: float) -> None:
+    if not 0.0 < probability <= 1.0:
+        raise ValueError(f"sampling probability must be in (0, 1], got {probability}")

@@ -1,0 +1,181 @@
+"""The RushMon monitor facade and the offline baseline monitor.
+
+:class:`RushMon` wires a :class:`~repro.core.collector.DataCentricCollector`
+to a :class:`~repro.core.detector.CycleDetector` (with pruning) and exposes
+windowed, estimator-corrected anomaly reports — the real-time monitor of
+Section 5.
+
+:class:`OfflineAnomalyMonitor` is the Section 4 baseline: full Algorithm 1
+collection into an explicit dependency graph, counted exactly after the
+fact.  It is the ground truth the benches compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.collector import BaselineCollector, DataCentricCollector
+from repro.core.config import RushMonConfig
+from repro.core.detector import CycleDetector
+from repro.core.estimator import estimate_three_cycles, estimate_two_cycles
+from repro.core.pruning import make_pruner
+from repro.core.types import (
+    AnomalyReport,
+    BuuId,
+    CycleCounts,
+    EdgeStats,
+    Key,
+    Operation,
+)
+
+
+class RushMon:
+    """Real-time isolation anomalies monitor.
+
+    Feed it the lifecycle and operation stream of your BUUs:
+
+    >>> mon = RushMon(RushMonConfig(sampling_rate=1, mob=False))
+    >>> mon.begin_buu(1, 0); mon.begin_buu(2, 0)
+    >>> from repro.core.types import Operation, OpType
+    >>> for op in [Operation(OpType.READ, 1, "x", 1),
+    ...            Operation(OpType.READ, 2, "x", 2),
+    ...            Operation(OpType.WRITE, 1, "x", 3),
+    ...            Operation(OpType.WRITE, 2, "x", 4)]:
+    ...     mon.on_operation(op)
+    >>> mon.commit_buu(1, 5); mon.commit_buu(2, 5)
+    >>> report = mon.report()
+    >>> report.estimated_2  # the classic lost update: one 2-cycle
+    1.0
+    """
+
+    def __init__(
+        self,
+        config: RushMonConfig | None = None,
+        items: Iterable[Key] | None = None,
+    ) -> None:
+        self.config = config or RushMonConfig()
+        self.collector = DataCentricCollector(
+            sampling_rate=self.config.sampling_rate,
+            mob=self.config.mob,
+            items=items,
+            seed=self.config.seed,
+            resample_interval=self.config.resample_interval,
+        )
+        self.detector = CycleDetector(
+            pruner=make_pruner(self.config.pruning),
+            prune_interval=self.config.prune_interval,
+            count_three=self.config.count_three_cycles,
+        )
+        self._window_raw = CycleCounts()
+        self._window_edges = EdgeStats()
+        self._window_ops = 0
+        self._window_start = 0
+        self._pattern_snapshot = self.detector.patterns.copy()
+        self._now = 0
+        self.reports: list[AnomalyReport] = []
+
+    # -- BUU lifecycle -------------------------------------------------------
+
+    def begin_buu(self, buu: BuuId, start_time: int | None = None) -> None:
+        self.detector.begin_buu(buu, self._time(start_time))
+
+    def commit_buu(self, buu: BuuId, commit_time: int | None = None) -> None:
+        self.detector.commit_buu(buu, self._time(commit_time))
+
+    def _time(self, explicit: int | None) -> int:
+        if explicit is not None:
+            self._now = max(self._now, explicit)
+            return explicit
+        return self._now
+
+    # -- operation ingestion ---------------------------------------------------
+
+    def on_operation(self, op: Operation) -> None:
+        """Observe one read/write in its storage visibility order."""
+        self._now = max(self._now, op.seq)
+        self._window_ops += 1
+        for edge in self.collector.handle(op):
+            self._window_edges.record(edge.kind)
+            new = self.detector.add_edge(edge)
+            self._window_raw.add(new)
+
+    def on_operations(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.on_operation(op)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def sampling_probability(self) -> float:
+        return self.collector.sampling_probability
+
+    def estimates(self, raw: CycleCounts | None = None) -> tuple[float, float]:
+        """Unbiased (E2, E3) for ``raw`` (default: the current window)."""
+        raw = raw if raw is not None else self._window_raw
+        p = self.sampling_probability
+        return estimate_two_cycles(raw, p), estimate_three_cycles(raw, p)
+
+    def report(self, now: int | None = None) -> AnomalyReport:
+        """Close the current window and return its anomaly report."""
+        end = self._time(now)
+        est2, est3 = self.estimates()
+        current_patterns = self.detector.patterns
+        window_patterns = {
+            pattern.value: count - self._pattern_snapshot.counts.get(pattern, 0)
+            for pattern, count in current_patterns.counts.items()
+            if count > self._pattern_snapshot.counts.get(pattern, 0)
+        }
+        rep = AnomalyReport(
+            window_start=self._window_start,
+            window_end=end,
+            estimated_2=est2,
+            estimated_3=est3,
+            raw=self._window_raw.copy(),
+            edges=EdgeStats(
+                self._window_edges.wr, self._window_edges.ww, self._window_edges.rw
+            ),
+            operations=self._window_ops,
+            patterns=window_patterns,
+        )
+        self.reports.append(rep)
+        self._window_raw = CycleCounts()
+        self._window_edges = EdgeStats()
+        self._window_ops = 0
+        self._window_start = end
+        self._pattern_snapshot = current_patterns.copy()
+        return rep
+
+    def cumulative_estimates(self) -> tuple[float, float]:
+        """Unbiased (E2, E3) over everything observed since construction."""
+        return self.estimates(self.detector.counts)
+
+
+class OfflineAnomalyMonitor:
+    """Section 4's baseline: exact, offline anomaly counting.
+
+    Collects every edge with Algorithm 1 into an explicit dependency
+    graph; :meth:`exact_counts` runs the exact labelled cycle counter.
+    Too slow for real-time use — which is the paper's premise — but the
+    ground truth for every accuracy comparison.
+    """
+
+    def __init__(self) -> None:
+        # Imported lazily: repro.graph depends on repro.core.types, so a
+        # module-level import from the core package would be circular.
+        from repro.graph.dependency import DependencyGraph
+
+        self.collector = BaselineCollector()
+        self.graph = DependencyGraph()
+
+    def on_operation(self, op: Operation) -> None:
+        for edge in self.collector.handle(op):
+            self.graph.add_edge(edge)
+
+    def on_operations(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.on_operation(op)
+
+    def exact_counts(self) -> CycleCounts:
+        from repro.graph.cycles import count_labelled_short_cycles
+
+        return count_labelled_short_cycles(self.graph)

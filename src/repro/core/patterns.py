@@ -1,0 +1,97 @@
+"""Classifying 2-cycles into the classic ANSI isolation anomalies.
+
+Section 3 motivates cycle counting by noting that the traditional
+anomaly taxonomy (Berenson et al., "A Critique of ANSI SQL Isolation
+Levels") — lost update, unrepeatable read, read skew, write skew — is a
+set of *specific cycle patterns* and is not exhaustive.  This module
+implements the mapping for 2-cycles, so the monitor can report not only
+how much chaos there is but what *kind*:
+
+===================  ==========================  ==========================
+pattern              edge types (unordered)      items
+===================  ==========================  ==========================
+lost update          rw + ww                     same item
+unrepeatable read    rw + wr                     same item
+read skew            rw + wr                     different items
+write skew           rw + rw                     different items
+dirty write cycle    ww + ww / ww + wr           any
+read cycle           wr + wr                     any
+other                anything else               —
+===================  ==========================  ==========================
+
+Worked derivations (using Algorithm 1's edge rules):
+
+- *Lost update*: ``r1(x) r2(x) w1(x) w2(x)`` gives ``rw T2→T1 (x)`` and
+  ``ww T1→T2 (x)``.
+- *Unrepeatable read*: ``r1(x) w2(x) r1(x)`` gives ``rw T1→T2 (x)`` and
+  ``wr T2→T1 (x)``.
+- *Read skew*: ``r1(x) w2(x) w2(y) r1(y)`` gives ``rw T1→T2 (x)`` and
+  ``wr T2→T1 (y)`` — same shape as unrepeatable read but across items.
+- *Write skew*: ``r1(x) r2(y) w1(y) w2(x)`` gives ``rw T2→T1 (y)`` and
+  ``rw T1→T2 (x)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.types import EdgeType, Key
+
+
+class AnomalyPattern(enum.Enum):
+    """The classic anomaly taxonomy, as 2-cycle shapes."""
+
+    LOST_UPDATE = "lost_update"
+    UNREPEATABLE_READ = "unrepeatable_read"
+    READ_SKEW = "read_skew"
+    WRITE_SKEW = "write_skew"
+    DIRTY_WRITE_CYCLE = "dirty_write_cycle"
+    READ_CYCLE = "read_cycle"
+    OTHER = "other"
+
+
+def classify_two_cycle(
+    kind_a: EdgeType, label_a: Key, kind_b: EdgeType, label_b: Key
+) -> AnomalyPattern:
+    """Classify a 2-cycle from its two edges' types and item labels."""
+    kinds = frozenset((kind_a, kind_b)) if kind_a != kind_b else frozenset((kind_a,))
+    same_item = label_a == label_b
+    if kinds == frozenset((EdgeType.RW, EdgeType.WW)):
+        return (AnomalyPattern.LOST_UPDATE if same_item
+                else AnomalyPattern.OTHER)
+    if kinds == frozenset((EdgeType.RW, EdgeType.WR)):
+        return (AnomalyPattern.UNREPEATABLE_READ if same_item
+                else AnomalyPattern.READ_SKEW)
+    if kinds == frozenset((EdgeType.RW,)):
+        return (AnomalyPattern.WRITE_SKEW if not same_item
+                else AnomalyPattern.OTHER)
+    if EdgeType.WW in kinds and EdgeType.RW not in kinds:
+        return AnomalyPattern.DIRTY_WRITE_CYCLE
+    if kinds == frozenset((EdgeType.WR,)):
+        return AnomalyPattern.READ_CYCLE
+    return AnomalyPattern.OTHER
+
+
+@dataclass
+class PatternCounts:
+    """Running tally of classified 2-cycles."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, pattern: AnomalyPattern) -> None:
+        self.counts[pattern] += 1
+
+    def get(self, pattern: AnomalyPattern) -> int:
+        return self.counts.get(pattern, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def as_dict(self) -> dict[str, int]:
+        return {pattern.value: count for pattern, count in self.counts.items()}
+
+    def copy(self) -> "PatternCounts":
+        return PatternCounts(Counter(self.counts))

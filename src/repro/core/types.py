@@ -1,0 +1,193 @@
+"""Core value types shared across RushMon components.
+
+The vocabulary follows the paper (Sections 2 and 4): a *BUU* (basic update
+unit) is a lightweight transaction identified by an integer id; every BUU
+issues a stream of read/write :class:`Operation` objects against named data
+items; the collector derives :class:`Edge` objects (``wr``, ``ww``, ``rw``)
+from that stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable
+
+#: Type alias for data-item keys.  Any hashable value works; the simulator
+#: and workloads use ints and short strings.
+Key = Hashable
+
+#: Type alias for BUU identifiers.
+BuuId = int
+
+
+class OpType(enum.Enum):
+    """The two storage primitives a BUU may issue."""
+
+    READ = "r"
+    WRITE = "w"
+
+
+class EdgeType(enum.Enum):
+    """Dependency-graph edge categories (Section 2.1).
+
+    - ``WR`` (read dependency): the destination read a value the source wrote.
+    - ``WW`` (write dependency): the destination overwrote the source's write.
+    - ``RW`` (anti-dependency): the destination overwrote a value the source
+      read.
+    """
+
+    WR = "wr"
+    WW = "ww"
+    RW = "rw"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single read or write applied to shared storage.
+
+    ``seq`` is the logical time at which the operation became visible to
+    other workers (the simulator's global step counter).  Operations on the
+    same data item are fully ordered by ``seq``, matching the paper's
+    assumption in Section 2.1.
+    """
+
+    op: OpType
+    buu: BuuId
+    key: Key
+    seq: int = 0
+
+    def is_read(self) -> bool:
+        return self.op is OpType.READ
+
+    def is_write(self) -> bool:
+        return self.op is OpType.WRITE
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labelled dependency-graph edge.
+
+    ``label`` is the data item the conflict occurred on.  The estimator
+    (Theorem 5.2) classifies cycles by comparing edge labels, so every edge
+    carries one.  ``seq`` is the visibility time of the *later* of the two
+    conflicting operations, i.e. when the collector learned the edge exists.
+    """
+
+    src: BuuId
+    dst: BuuId
+    kind: EdgeType
+    label: Key
+    seq: int = 0
+
+    def endpoints(self) -> tuple[BuuId, BuuId]:
+        return (self.src, self.dst)
+
+
+@dataclass
+class BuuInfo:
+    """Lifetime bookkeeping for one BUU, used by vertex pruning (§5.3).
+
+    ``start`` is the BUU's start time; ``commit`` is when it finished and
+    its effects became visible.  ``commit`` is ``None`` while the BUU is
+    alive (the paper treats alive commit times as infinity).
+    """
+
+    buu: BuuId
+    start: int
+    commit: int | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.commit is None
+
+    def commit_time(self) -> float:
+        """Commit time with the paper's infinity-while-alive convention."""
+        return float("inf") if self.commit is None else float(self.commit)
+
+
+@dataclass
+class CycleCounts:
+    """Aggregate 2-/3-cycle counts broken down by label class (§5.1).
+
+    A 2-cycle's two edge labels are either the *same* (``ss``) or
+    *distinct* (``dd``).  A 3-cycle's three labels are all-same (``sss``),
+    exactly-two-same (``ssd``) or all-distinct (``ddd``).  These classes
+    are what the unbiased estimator needs.
+    """
+
+    ss: int = 0
+    dd: int = 0
+    sss: int = 0
+    ssd: int = 0
+    ddd: int = 0
+
+    @property
+    def two_cycles(self) -> int:
+        """Raw (uncalibrated) number of observed 2-cycles."""
+        return self.ss + self.dd
+
+    @property
+    def three_cycles(self) -> int:
+        """Raw (uncalibrated) number of observed 3-cycles."""
+        return self.sss + self.ssd + self.ddd
+
+    def add(self, other: "CycleCounts") -> None:
+        self.ss += other.ss
+        self.dd += other.dd
+        self.sss += other.sss
+        self.ssd += other.ssd
+        self.ddd += other.ddd
+
+    def copy(self) -> "CycleCounts":
+        return CycleCounts(self.ss, self.dd, self.sss, self.ssd, self.ddd)
+
+
+@dataclass
+class EdgeStats:
+    """Per-category edge counters reported alongside cycle counts (Fig 23)."""
+
+    wr: int = 0
+    ww: int = 0
+    rw: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.wr + self.ww + self.rw
+
+    def record(self, kind: EdgeType) -> None:
+        if kind is EdgeType.WR:
+            self.wr += 1
+        elif kind is EdgeType.WW:
+            self.ww += 1
+        else:
+            self.rw += 1
+
+    def as_dict(self) -> dict[str, int]:
+        return {"wr": self.wr, "ww": self.ww, "rw": self.rw}
+
+
+@dataclass
+class AnomalyReport:
+    """One monitoring-window report produced by :class:`~repro.core.monitor.RushMon`.
+
+    ``estimated_2`` / ``estimated_3`` are the unbiased estimates of the
+    number of new 2-/3-cycles in the window; ``raw`` holds the sampled
+    counts they were derived from; ``edges`` the per-category edge counts.
+    """
+
+    window_start: int
+    window_end: int
+    estimated_2: float
+    estimated_3: float
+    raw: CycleCounts = field(default_factory=CycleCounts)
+    edges: EdgeStats = field(default_factory=EdgeStats)
+    operations: int = 0
+    #: Raw (sampled, uncalibrated) 2-cycle counts by anomaly pattern —
+    #: lost_update / unrepeatable_read / read_skew / write_skew / ...
+    patterns: dict = field(default_factory=dict)
+
+    @property
+    def anomalies(self) -> float:
+        """Combined anomaly level: total estimated short cycles."""
+        return self.estimated_2 + self.estimated_3

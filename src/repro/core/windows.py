@@ -1,0 +1,79 @@
+"""Rate tracking over monitoring windows: sliding means and EWMA.
+
+The monitor emits one :class:`~repro.core.types.AnomalyReport` per
+window; consumers (dashboards, the controller) usually want a smoothed
+rate rather than raw per-window counts.  Two standard smoothers:
+
+- :class:`SlidingWindowRate` — mean anomaly rate over the last N
+  windows (uniform weight, bounded memory);
+- :class:`EwmaRate` — exponentially weighted moving average, reacting
+  faster to regime changes (like the Fig 8 staleness switch).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.types import AnomalyReport
+
+
+def report_rate(report: AnomalyReport) -> float:
+    """Anomalies per unit of simulated time for one window."""
+    window = max(1, report.window_end - report.window_start)
+    return report.anomalies / window
+
+
+class SlidingWindowRate:
+    """Mean rate over the most recent ``size`` windows."""
+
+    def __init__(self, size: int = 10) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self._window: deque[float] = deque(maxlen=size)
+
+    def observe(self, report: AnomalyReport) -> float:
+        self._window.append(report_rate(report))
+        return self.value
+
+    def observe_rate(self, rate: float) -> float:
+        self._window.append(rate)
+        return self.value
+
+    @property
+    def value(self) -> float:
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    @property
+    def samples(self) -> int:
+        return len(self._window)
+
+
+@dataclass
+class EwmaRate:
+    """Exponentially weighted moving average of the anomaly rate.
+
+    ``alpha`` is the weight of the newest observation; 1.0 degenerates
+    to "latest value", small alphas smooth aggressively.
+    """
+
+    alpha: float = 0.3
+    value: float = 0.0
+    samples: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def observe(self, report: AnomalyReport) -> float:
+        return self.observe_rate(report_rate(report))
+
+    def observe_rate(self, rate: float) -> float:
+        if self.samples == 0:
+            self.value = rate
+        else:
+            self.value = self.alpha * rate + (1.0 - self.alpha) * self.value
+        self.samples += 1
+        return self.value

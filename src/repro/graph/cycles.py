@@ -1,0 +1,276 @@
+"""Exact cycle counting and enumeration on dependency graphs.
+
+This module is the offline "ground truth" side of the reproduction:
+
+- :func:`count_labelled_short_cycles` counts 2- and 3-cycles with the
+  label-class breakdown (ss/dd, sss/ssd/ddd) that Theorem 5.2's estimator
+  needs.  A cycle is a set of edges; parallel edges with different labels
+  give distinct cycles, matching the paper's read-skew example.
+- :func:`count_simple_cycles_by_length` counts vertex-simple directed
+  cycles of each length up to a bound (used for Figure 2, lengths 2..5).
+- :func:`johnson_simple_cycles` enumerates *all* elementary circuits with
+  Johnson's algorithm [Johnson 1975], the fastest known enumeration and
+  the algorithm the paper's Section 3 cites as "not fast enough" for
+  real-time monitoring — which is exactly the point of RushMon.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.core.types import BuuId, CycleCounts
+from repro.graph.dependency import DependencyGraph
+
+
+def count_labelled_short_cycles(graph: DependencyGraph) -> CycleCounts:
+    """Count 2- and 3-cycles in ``graph`` broken down by label class.
+
+    2-cycles: for every unordered vertex pair {u, v} with edges in both
+    directions, every (label-on-u->v, label-on-v->u) combination is one
+    cycle: ``ss`` if the labels match, ``dd`` otherwise.
+
+    3-cycles: every directed triangle u -> v -> w -> u, canonicalised to
+    start at its smallest vertex so each is counted once; every label
+    triple is one cycle, classified by how many distinct labels it has.
+    """
+    counts = CycleCounts()
+
+    # -- 2-cycles ----------------------------------------------------------
+    for u in graph.vertices:
+        for v in graph.successors(u):
+            if v <= u or not graph.has_edge(v, u):
+                continue
+            forward = graph.labels(u, v)
+            backward = graph.labels(v, u)
+            same = len(forward & backward)
+            counts.ss += same
+            counts.dd += len(forward) * len(backward) - same
+
+    # -- 3-cycles ----------------------------------------------------------
+    for u in graph.vertices:
+        for v in graph.successors(u):
+            if v == u:
+                continue
+            for w in graph.successors(v):
+                if w == u or w == v or not graph.has_edge(w, u):
+                    continue
+                # Canonical start: count the triangle only from its
+                # smallest vertex.
+                if not (u < v and u < w):
+                    continue
+                _classify_triangle_labels(
+                    graph.labels(u, v), graph.labels(v, w), graph.labels(w, u), counts
+                )
+    return counts
+
+
+def _classify_triangle_labels(la: set, lb: set, lc: set, counts: CycleCounts) -> None:
+    """Add every (a, b, c) label combination of a triangle to ``counts``.
+
+    Uses inclusion-exclusion instead of a triple loop so dense label sets
+    stay cheap.  A combination with exactly two equal labels satisfies
+    exactly one of the three pairwise-equality conditions; an all-equal
+    combination satisfies all three, so it is subtracted from each.
+    """
+    na, nb, nc = len(la), len(lb), len(lc)
+    total = na * nb * nc
+    sss = len(la & lb & lc)
+    ssd = (
+        (len(la & lb) * nc - sss)
+        + (len(lb & lc) * na - sss)
+        + (len(la & lc) * nb - sss)
+    )
+    counts.sss += sss
+    counts.ssd += ssd
+    counts.ddd += total - sss - ssd
+
+
+def count_simple_cycles_by_length(
+    graph: DependencyGraph, max_length: int = 5
+) -> dict[int, int]:
+    """Count vertex-simple directed cycles of each length 2..max_length.
+
+    Uses a depth-first search from each vertex restricted to neighbours
+    greater than the root, so each cycle is discovered exactly once (from
+    its smallest vertex).  Exponential in ``max_length`` but lengths <= 5
+    on pruned graphs stay tractable — this is the Figure 2 ground truth,
+    not the real-time path.
+    """
+    counts = {length: 0 for length in range(2, max_length + 1)}
+    for root in graph.vertices:
+        _bounded_cycle_dfs(graph, root, counts, max_length)
+    return counts
+
+
+def _bounded_cycle_dfs(
+    graph: DependencyGraph, root: BuuId, counts: dict[int, int], max_length: int
+) -> None:
+    # Iterative DFS over paths root -> ... -> v with all vertices > root,
+    # expanding neighbours lazily via explicit iterator frames.
+    frames: list[tuple[Iterator[BuuId], BuuId]] = [
+        (iter(graph.successors(root)), root)
+    ]
+    on_path: list[BuuId] = [root]
+    path_set: set[BuuId] = {root}
+    while frames:
+        it, current = frames[-1]
+        advanced = False
+        for nxt in it:
+            if nxt == root:
+                length = len(on_path)
+                if 2 <= length <= max_length:
+                    counts[length] += 1
+                continue
+            if nxt < root or nxt in path_set:
+                continue
+            if len(on_path) >= max_length:
+                continue
+            on_path.append(nxt)
+            path_set.add(nxt)
+            frames.append((iter(graph.successors(nxt)), nxt))
+            advanced = True
+            break
+        if not advanced:
+            frames.pop()
+            removed = on_path.pop()
+            path_set.discard(removed)
+
+
+def johnson_simple_cycles(graph: DependencyGraph) -> Iterator[list[BuuId]]:
+    """Enumerate all elementary circuits (Johnson 1975), iteratively.
+
+    Yields each cycle as a list of vertices starting from its smallest
+    vertex.  O((n + e)(c + 1)) like the original; used as the paper's
+    offline baseline and for cross-checking the bounded counters.
+    """
+    # Work on a shrinking copy: Johnson processes vertices in increasing
+    # order, removing each once all circuits through it are reported.
+    succ: dict[BuuId, set[BuuId]] = {
+        v: set(graph.successors(v)) for v in graph.vertices
+    }
+    for v in list(succ):
+        succ[v].discard(v)
+
+    order = sorted(succ)
+    for start in order:
+        # Restrict to the strongly connected component of ``start`` in the
+        # subgraph of vertices >= start; self-loops were already dropped,
+        # so a singleton component carries no circuit through ``start``.
+        sub = {v: {w for w in ws if w >= start} for v, ws in succ.items() if v >= start}
+        component = _scc_containing(sub, start)
+        if len(component) < 2:
+            continue
+        yield from _johnson_from(sub, component, start)
+
+
+def _scc_containing(succ: dict[BuuId, set[BuuId]], root: BuuId) -> set[BuuId]:
+    """The strongly connected component of ``root`` (iterative Tarjan)."""
+    index: dict[BuuId, int] = {}
+    low: dict[BuuId, int] = {}
+    on_stack: set[BuuId] = set()
+    stack: list[BuuId] = []
+    counter = 0
+    result: set[BuuId] = {root}
+
+    call_stack: list[tuple[BuuId, Iterator[BuuId]]] = []
+    index[root] = low[root] = counter
+    counter += 1
+    stack.append(root)
+    on_stack.add(root)
+    call_stack.append((root, iter(succ.get(root, ()))))
+    while call_stack:
+        v, it = call_stack[-1]
+        advanced = False
+        for w in it:
+            if w not in succ:
+                continue
+            if w not in index:
+                index[w] = low[w] = counter
+                counter += 1
+                stack.append(w)
+                on_stack.add(w)
+                call_stack.append((w, iter(succ.get(w, ()))))
+                advanced = True
+                break
+            if w in on_stack:
+                low[v] = min(low[v], index[w])
+        if advanced:
+            continue
+        call_stack.pop()
+        if call_stack:
+            parent = call_stack[-1][0]
+            low[parent] = min(low[parent], low[v])
+        if low[v] == index[v]:
+            component = set()
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.add(w)
+                if w == v:
+                    break
+            if root in component:
+                result = component
+    return result
+
+
+def _johnson_from(
+    succ: dict[BuuId, set[BuuId]], component: set[BuuId], start: BuuId
+) -> Iterator[list[BuuId]]:
+    """Johnson's circuit search rooted at ``start`` inside ``component``."""
+    blocked: dict[BuuId, bool] = {v: False for v in component}
+    blocked_map: dict[BuuId, set[BuuId]] = {v: set() for v in component}
+    path: list[BuuId] = [start]
+    blocked[start] = True
+
+    def unblock(v: BuuId) -> None:
+        pending = [v]
+        while pending:
+            u = pending.pop()
+            if not blocked.get(u):
+                continue
+            blocked[u] = False
+            pending.extend(blocked_map[u])
+            blocked_map[u].clear()
+
+    # Iterative adaptation of CIRCUIT(v).
+    frames: list[tuple[BuuId, Iterator[BuuId], bool]] = [
+        (start, iter(sorted(succ.get(start, set()) & component)), False)
+    ]
+    found_flags: list[bool] = [False]
+    while frames:
+        v, it, _ = frames[-1]
+        advanced = False
+        for w in it:
+            if w == start:
+                yield list(path)
+                found_flags[-1] = True
+                continue
+            if not blocked.get(w, True):
+                path.append(w)
+                blocked[w] = True
+                frames.append((w, iter(sorted(succ.get(w, set()) & component)), False))
+                found_flags.append(False)
+                advanced = True
+                break
+        if advanced:
+            continue
+        frames.pop()
+        found = found_flags.pop()
+        path.pop()
+        if found:
+            unblock(v)
+            if found_flags:
+                found_flags[-1] = True
+        else:
+            for w in succ.get(v, set()) & component:
+                blocked_map.setdefault(w, set()).add(v)
+
+
+def count_cycles_johnson(graph: DependencyGraph, max_length: int | None = None) -> dict[int, int]:
+    """Count elementary circuits by length via full Johnson enumeration."""
+    counts: dict[int, int] = defaultdict(int)
+    for cycle in johnson_simple_cycles(graph):
+        if max_length is None or len(cycle) <= max_length:
+            counts[len(cycle)] += 1
+    return dict(counts)

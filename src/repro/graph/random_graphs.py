@@ -1,0 +1,148 @@
+"""Random graph generators used by the workloads and the §3 theory check.
+
+Two generators:
+
+- :func:`preferential_attachment_graph` — the synthetic data generator of
+  Section 7.2 / Table 1 (Dorogovtsev-Mendes-Samukhin style preferential
+  attachment), with the paper's parameters: vertex count ``V``, average
+  degree ``D`` and degree lower bound ``LB``.
+- :func:`directed_gnp` — a directed Erdős–Rényi graph, used to verify the
+  Section 3 analysis that the expected number of k-cycles in G(n, p) is
+  ``n! / (n-k)! / k * p^k``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.graph.dependency import DependencyGraph
+
+
+class UndirectedGraph:
+    """A minimal undirected adjacency structure for workload graphs.
+
+    Workloads (graph analytics, the §7.2 synthetic workload) operate on an
+    *application* graph, which is undirected; the *dependency* graph the
+    monitor builds is a separate, directed object.
+    """
+
+    def __init__(self, num_vertices: int) -> None:
+        self.num_vertices = num_vertices
+        self.adj: list[list[int]] = [[] for _ in range(num_vertices)]
+        self.num_edges = 0
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            return
+        self.adj[u].append(v)
+        self.adj[v].append(u)
+        self.num_edges += 1
+
+    def neighbors(self, v: int) -> Sequence[int]:
+        return self.adj[v]
+
+    def degree(self, v: int) -> int:
+        return len(self.adj[v])
+
+    def average_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    def edges(self) -> list[tuple[int, int]]:
+        out = []
+        for u in range(self.num_vertices):
+            for v in self.adj[u]:
+                if u < v:
+                    out.append((u, v))
+        return out
+
+
+def preferential_attachment_graph(
+    num_vertices: int,
+    average_degree: float,
+    degree_lower_bound: int = 0,
+    rng: random.Random | None = None,
+) -> UndirectedGraph:
+    """Generate a preferential-attachment graph (Table 1 generator).
+
+    Each new vertex attaches ``m = average_degree / 2`` edges to existing
+    vertices chosen proportionally to their current degree (plus one, so
+    isolated seeds can be chosen).  ``degree_lower_bound`` (the paper's
+    ``LB``) afterwards tops up vertices below the bound with uniformly
+    random extra edges, mirroring how the paper sweeps a minimum-conflict
+    density.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = rng or random.Random(0)
+    graph = UndirectedGraph(num_vertices)
+    m = max(1, round(average_degree / 2))
+
+    # Repeated-nodes list: classic O(1) preferential sampling.
+    targets: list[int] = [0]
+    for v in range(1, num_vertices):
+        chosen: set[int] = set()
+        attempts = 0
+        k = min(m, v)
+        while len(chosen) < k and attempts < 10 * k + 10:
+            candidate = targets[rng.randrange(len(targets))]
+            attempts += 1
+            if candidate != v:
+                chosen.add(candidate)
+        while len(chosen) < k:
+            candidate = rng.randrange(v)
+            if candidate != v:
+                chosen.add(candidate)
+        for u in chosen:
+            graph.add_edge(v, u)
+            targets.append(u)
+            targets.append(v)
+        if not chosen:
+            targets.append(v)
+
+    if degree_lower_bound > 0:
+        _enforce_degree_lower_bound(graph, degree_lower_bound, rng)
+    return graph
+
+
+def _enforce_degree_lower_bound(
+    graph: UndirectedGraph, lower_bound: int, rng: random.Random
+) -> None:
+    n = graph.num_vertices
+    for v in range(n):
+        existing = set(graph.adj[v])
+        existing.add(v)
+        guard = 0
+        while graph.degree(v) < lower_bound and guard < 100 * lower_bound:
+            u = rng.randrange(n)
+            guard += 1
+            if u in existing:
+                continue
+            graph.add_edge(v, u)
+            existing.add(u)
+
+
+def directed_gnp(
+    num_vertices: int, edge_probability: float, rng: random.Random | None = None
+) -> DependencyGraph:
+    """Directed G(n, p): each ordered pair (u, v), u != v, independently."""
+    rng = rng or random.Random(0)
+    graph = DependencyGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if u != v and rng.random() < edge_probability:
+                graph.add(u, v, label="gnp")
+    return graph
+
+
+def expected_k_cycles(num_vertices: int, edge_probability: float, k: int) -> float:
+    """Section 3's closed form: E[#k-cycles in G(n, p)] = n!/(n-k)!/k * p^k."""
+    if k < 2 or k > num_vertices:
+        return 0.0
+    falling = math.perm(num_vertices, k)
+    return falling / k * edge_probability**k

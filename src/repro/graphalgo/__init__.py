@@ -1,0 +1,33 @@
+"""Graph-analytics substrate: async WCC, coloring, PageRank, matching."""
+
+from repro.graphalgo.coloring import AsyncColoring, ColoringResult, color_key
+from repro.graphalgo.matching import AsyncMatching, MatchingResult, match_key
+from repro.graphalgo.pagerank import (
+    AsyncPageRank,
+    PageRankResult,
+    rank_key,
+    reference_pagerank,
+)
+from repro.graphalgo.wcc import (
+    AsyncWcc,
+    WccResult,
+    ground_truth_components,
+    label_key,
+)
+
+__all__ = [
+    "AsyncColoring",
+    "ColoringResult",
+    "color_key",
+    "AsyncMatching",
+    "MatchingResult",
+    "match_key",
+    "AsyncPageRank",
+    "PageRankResult",
+    "rank_key",
+    "reference_pagerank",
+    "AsyncWcc",
+    "WccResult",
+    "ground_truth_components",
+    "label_key",
+]

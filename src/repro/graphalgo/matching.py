@@ -1,0 +1,144 @@
+"""Asynchronous greedy graph matching (§2.2's "matching trial" BUU).
+
+Each BUU attempts to match one edge: it reads both endpoints' match
+state and, if both are free, writes each endpoint as matched to the
+other.  Under weak isolation, two trials can race and leave an
+*inconsistent* matching (u says "matched to v" while v says "matched to
+w"); repair BUUs clear such dangling entries.  The algorithm converges
+to a valid maximal matching eventually; chaos extends the trial/repair
+churn — which the monitor quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import RushMonConfig
+from repro.core.monitor import RushMon
+from repro.graph.random_graphs import UndirectedGraph
+from repro.sim.buu import Buu
+from repro.sim.scheduler import SimConfig, Simulator
+
+
+def match_key(vertex: int) -> str:
+    """Store key holding vertex's current mate (or None)."""
+    return f"m{vertex}"
+
+
+@dataclass
+class MatchingResult:
+    buus_to_converge: int | None
+    converged: bool
+    rounds: int
+    matched_pairs: int
+    estimated_2: float = 0.0
+    estimated_3: float = 0.0
+    sim_time: int = 0
+
+    def cycles_per_time(self) -> tuple[float, float]:
+        t = max(1, self.sim_time)
+        return (self.estimated_2 / t, self.estimated_3 / t)
+
+
+class AsyncMatching:
+    """Greedy maximal matching via concurrent edge trials."""
+
+    def __init__(self, graph: UndirectedGraph,
+                 sim_config: SimConfig | None = None,
+                 monitor_config: RushMonConfig | None = None,
+                 seed: int = 0) -> None:
+        self.graph = graph
+        self.edges = graph.edges()
+        self._rng = random.Random(seed)
+        self.monitor = RushMon(
+            monitor_config or RushMonConfig(sampling_rate=1, mob=False)
+        )
+        store = {match_key(v): None for v in range(graph.num_vertices)}
+        self.simulator = Simulator(
+            sim_config or SimConfig(num_workers=8, seed=seed),
+            store=store,
+            listeners=[self.monitor],
+        )
+
+    def trial_buu(self, u: int, v: int) -> Buu:
+        """Try to match edge (u, v) if both endpoints look free."""
+        keys = [match_key(u), match_key(v)]
+
+        def compute(values: dict) -> dict:
+            if values.get(match_key(u)) is None and (
+                values.get(match_key(v)) is None
+            ):
+                return {match_key(u): v, match_key(v): u}
+            return {}
+
+        return Buu(reads=keys, compute=compute, additive=False)
+
+    def repair_buu(self, v: int) -> Buu:
+        """Clear v's match if it is dangling (partner points elsewhere)."""
+        partner_keys = [match_key(u) for u in self.graph.neighbors(v)]
+        keys = [match_key(v)] + partner_keys
+
+        def compute(values: dict) -> dict:
+            mate = values.get(match_key(v))
+            if mate is None:
+                return {}
+            if values.get(match_key(mate)) != v:
+                return {match_key(v): None}
+            return {}
+
+        return Buu(reads=keys, compute=compute, additive=False)
+
+    # -- state checks ----------------------------------------------------------
+
+    def _mate(self, v: int):
+        return self.simulator.store.get(match_key(v))
+
+    def is_consistent(self) -> bool:
+        """Every matched vertex's partner points back."""
+        for v in range(self.graph.num_vertices):
+            mate = self._mate(v)
+            if mate is not None and self._mate(mate) != v:
+                return False
+        return True
+
+    def is_maximal(self) -> bool:
+        """No edge has both endpoints free."""
+        for u, v in self.edges:
+            if self._mate(u) is None and self._mate(v) is None:
+                return False
+        return True
+
+    def matched_pairs(self) -> int:
+        return sum(
+            1 for v in range(self.graph.num_vertices)
+            if self._mate(v) is not None and self._mate(self._mate(v)) == v
+            and v < self._mate(v)
+        )
+
+    def run(self, max_rounds: int = 60) -> MatchingResult:
+        buus_total = 0
+        converged_at = None
+        rounds_used = 0
+        for round_index in range(max_rounds):
+            rounds_used = round_index + 1
+            trials = list(self.edges)
+            self._rng.shuffle(trials)
+            batch = [self.trial_buu(u, v) for u, v in trials]
+            batch += [self.repair_buu(v)
+                      for v in range(self.graph.num_vertices)]
+            self.simulator.run(batch)
+            buus_total += len(batch)
+            if self.is_consistent() and self.is_maximal():
+                converged_at = buus_total
+                break
+        e2, e3 = self.monitor.cumulative_estimates()
+        return MatchingResult(
+            buus_to_converge=converged_at,
+            converged=converged_at is not None,
+            rounds=rounds_used,
+            matched_pairs=self.matched_pairs(),
+            estimated_2=e2,
+            estimated_3=e3,
+            sim_time=self.simulator.now,
+        )

@@ -1,0 +1,169 @@
+"""Asynchronous training loop over the simulator, with live monitoring.
+
+:class:`AsyncTrainer` drives an optimizer's BUUs through the concurrency
+simulator in rounds, evaluating the shared model's loss between rounds
+and collecting the monitor's anomaly reports alongside — the setup behind
+Figures 3, 7, 8 and 9.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import RushMonConfig
+from repro.core.monitor import RushMon
+from repro.ml.logistic import dataset_loss, initial_loss, optimum_loss
+from repro.ml.optimizers import make_optimizer
+from repro.sim.buu import Buu
+from repro.sim.scheduler import SimConfig, Simulator
+from repro.workloads.datasets import ClickDataset
+
+
+@dataclass
+class RoundRecord:
+    """Per-round training telemetry."""
+
+    round_index: int
+    buus_total: int
+    loss: float
+    estimated_2: float
+    estimated_3: float
+    sim_time: int
+
+    @property
+    def anomaly_rate_2(self) -> float:
+        """2-cycles per unit of simulated time (the paper reports
+        cycles per second)."""
+        return self.estimated_2 / max(1, self.sim_time)
+
+    @property
+    def anomaly_rate_3(self) -> float:
+        return self.estimated_3 / max(1, self.sim_time)
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of an :class:`AsyncTrainer` run."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+    buus_to_converge: int | None = None
+    converged: bool = False
+    final_loss: float = float("inf")
+
+    @property
+    def total_2_cycles(self) -> float:
+        return sum(r.estimated_2 for r in self.rounds)
+
+    @property
+    def total_3_cycles(self) -> float:
+        return sum(r.estimated_3 for r in self.rounds)
+
+    def cycles_per_time(self) -> tuple[float, float]:
+        """(2-cycle, 3-cycle) counts per unit simulated time."""
+        if not self.rounds:
+            return (0.0, 0.0)
+        total_time = max(1, self.rounds[-1].sim_time)
+        return (self.total_2_cycles / total_time, self.total_3_cycles / total_time)
+
+
+class AsyncTrainer:
+    """Asynchronous optimization with a RushMon monitor attached.
+
+    Parameters
+    ----------
+    dataset:
+        A :func:`~repro.workloads.datasets.synthetic_click_dataset`.
+    optimizer:
+        ``"asgd"``, ``"asgdm"`` or ``"rmsprop"``.
+    sim_config:
+        Concurrency environment (workers, latency, staleness bound...).
+    monitor_config:
+        RushMon configuration; ``None`` attaches an unsampled monitor.
+    learning_rate, batch_per_round:
+        SGD step size and BUUs executed between loss evaluations.
+    """
+
+    def __init__(
+        self,
+        dataset: ClickDataset,
+        optimizer: str = "asgd",
+        sim_config: SimConfig | None = None,
+        monitor_config: RushMonConfig | None = None,
+        learning_rate: float = 0.05,
+        batch_per_round: int = 200,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.optimizer_name = optimizer
+        self._make_buu = make_optimizer(optimizer)
+        self.learning_rate = learning_rate
+        self.batch_per_round = batch_per_round
+        self._rng = random.Random(seed)
+        self.monitor = RushMon(
+            monitor_config or RushMonConfig(sampling_rate=1, mob=False,
+                                            pruning="both"),
+        )
+        self.simulator = Simulator(
+            sim_config or SimConfig(num_workers=8, seed=seed),
+            listeners=[self.monitor],
+        )
+        self.optimum = optimum_loss(dataset)
+        self.start_loss = initial_loss(dataset)
+
+    def _round_buus(self) -> list[Buu]:
+        samples = [
+            self.dataset.samples[self._rng.randrange(len(self.dataset.samples))]
+            for _ in range(self.batch_per_round)
+        ]
+        return [self._make_buu(self.dataset, s, self.learning_rate)
+                for s in samples]
+
+    def current_loss(self) -> float:
+        return dataset_loss(self.simulator.store, self.dataset)
+
+    def train(
+        self,
+        rounds: int,
+        convergence_margin: float = 0.05,
+        divergence_factor: float = 4.0,
+        staleness_schedule: dict[int, int | None] | None = None,
+        stop_at_convergence: bool = False,
+    ) -> TrainingResult:
+        """Run training rounds; stop early on convergence or divergence.
+
+        ``staleness_schedule`` maps round index -> new staleness bound,
+        reproducing the Fig 8 mid-run reinforcement experiment.
+        """
+        result = TrainingResult()
+        target = self.optimum + convergence_margin
+        blowup = self.start_loss * divergence_factor
+        buus_total = 0
+        for round_index in range(rounds):
+            if staleness_schedule and round_index in staleness_schedule:
+                self.simulator.config.staleness_bound = (
+                    staleness_schedule[round_index]
+                )
+            self.simulator.run(self._round_buus())
+            buus_total += self.batch_per_round
+            loss = self.current_loss()
+            report = self.monitor.report(self.simulator.now)
+            result.rounds.append(
+                RoundRecord(
+                    round_index=round_index,
+                    buus_total=buus_total,
+                    loss=loss,
+                    estimated_2=report.estimated_2,
+                    estimated_3=report.estimated_3,
+                    sim_time=self.simulator.now,
+                )
+            )
+            if loss <= target and result.buus_to_converge is None:
+                result.buus_to_converge = buus_total
+                result.converged = True
+                if stop_at_convergence:
+                    break
+            if loss != loss or loss > blowup:  # NaN or blow-up: diverged
+                break
+        result.final_loss = result.rounds[-1].loss if result.rounds else float("inf")
+        return result

@@ -1,0 +1,137 @@
+"""Asynchronous stochastic coordinate descent (§2.2's "coordinate update").
+
+Minimises a ridge-regularised least-squares objective
+
+    f(w) = 1/(2m) * sum_i (x_i . w - y_i)^2 + (lam/2) * |w|^2
+
+by exact coordinate minimisation: a BUU picks coordinate j, reads the
+residual-relevant weights, and writes the optimal w_j given the others.
+The closed-form solution makes the isolated algorithm monotone; stale
+reads break the monotonicity, so chaos shows up as slower or stalled
+convergence — the PASSCoDe-style workload the related work cites.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.buu import Buu
+from repro.sim.scheduler import SimConfig, Simulator
+from repro.core.config import RushMonConfig
+from repro.core.monitor import RushMon
+
+
+def weight_key(j: int) -> str:
+    """Store key holding coordinate j's weight."""
+    return f"cd{j}"
+
+
+@dataclass
+class RidgeProblem:
+    """A dense ridge-regression instance with a known exact solution."""
+
+    features: np.ndarray  # (m, d)
+    targets: np.ndarray   # (m,)
+    lam: float = 0.1
+    solution: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        m, d = self.features.shape
+        gram = self.features.T @ self.features / m + self.lam * np.eye(d)
+        rhs = self.features.T @ self.targets / m
+        self.solution = np.linalg.solve(gram, rhs)
+
+    @property
+    def dimension(self) -> int:
+        return self.features.shape[1]
+
+    def loss(self, weights: np.ndarray) -> float:
+        m = self.features.shape[0]
+        residual = self.features @ weights - self.targets
+        return float(
+            residual @ residual / (2 * m)
+            + self.lam / 2 * (weights @ weights)
+        )
+
+    def optimal_loss(self) -> float:
+        return self.loss(self.solution)
+
+
+def random_ridge_problem(num_samples: int = 120, dimension: int = 12,
+                         lam: float = 0.1, seed: int = 0) -> RidgeProblem:
+    """Generate a random dense ridge instance with a planted linear model."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(num_samples, dimension))
+    true_weights = rng.normal(size=dimension)
+    targets = features @ true_weights + 0.05 * rng.normal(size=num_samples)
+    return RidgeProblem(features, targets, lam)
+
+
+class AsyncCoordinateDescent:
+    """Drives asynchronous exact coordinate descent on the simulator."""
+
+    def __init__(self, problem: RidgeProblem,
+                 sim_config: SimConfig | None = None,
+                 monitor_config: RushMonConfig | None = None,
+                 seed: int = 0) -> None:
+        self.problem = problem
+        self._rng = random.Random(seed)
+        self.monitor = RushMon(
+            monitor_config or RushMonConfig(sampling_rate=1, mob=False)
+        )
+        store = {weight_key(j): 0.0 for j in range(problem.dimension)}
+        self.simulator = Simulator(
+            sim_config or SimConfig(num_workers=4, seed=seed),
+            store=store,
+            listeners=[self.monitor],
+        )
+        m = problem.features.shape[0]
+        # Precompute the quadratic coefficients: for coordinate j,
+        # f is minimised at (b_j - sum_{k != j} G_jk w_k) / G_jj with
+        # G = X^T X / m + lam I and b = X^T y / m.
+        self._gram = (problem.features.T @ problem.features / m
+                      + problem.lam * np.eye(problem.dimension))
+        self._rhs = problem.features.T @ problem.targets / m
+
+    def coordinate_buu(self, j: int) -> Buu:
+        d = self.problem.dimension
+        keys = [weight_key(k) for k in range(d)]
+        gram_row = self._gram[j]
+        rhs_j = self._rhs[j]
+
+        def compute(values: dict) -> dict:
+            cross = sum(
+                gram_row[k] * (values.get(weight_key(k)) or 0.0)
+                for k in range(d) if k != j
+            )
+            return {weight_key(j): (rhs_j - cross) / gram_row[j]}
+
+        return Buu(reads=keys, compute=compute, additive=False)
+
+    def weights(self) -> np.ndarray:
+        store = self.simulator.store
+        return np.array(
+            [store.get(weight_key(j)) or 0.0
+             for j in range(self.problem.dimension)]
+        )
+
+    def loss(self) -> float:
+        return self.problem.loss(self.weights())
+
+    def run(self, rounds: int, tolerance: float = 1e-4):
+        """Random coordinate sweeps; returns (buus, loss) checkpoints."""
+        trajectory = []
+        buus_total = 0
+        for _ in range(rounds):
+            order = list(range(self.problem.dimension))
+            self._rng.shuffle(order)
+            self.simulator.run(self.coordinate_buu(j) for j in order)
+            buus_total += len(order)
+            loss = self.loss()
+            trajectory.append((buus_total, loss))
+            if loss <= self.problem.optimal_loss() + tolerance:
+                break
+        return trajectory

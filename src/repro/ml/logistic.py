@@ -1,0 +1,71 @@
+"""Sparse logistic regression: loss and gradient (Appendix A workload).
+
+The model is a weight per one-hot feature; a sample's score is the sum of
+its active features' weights; the label is ±1.  Losses and gradients are
+written against plain ``dict`` parameter snapshots so they can evaluate
+both the shared store (possibly mid-training and inconsistent) and
+locally-read stale values inside a BUU.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.workloads.datasets import ClickDataset, ClickSample
+
+
+def sigmoid(z: float) -> float:
+    """Numerically stable logistic function."""
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-z))
+    e = math.exp(z)
+    return e / (1.0 + e)
+
+
+def sample_score(weights: Mapping[str, float], sample: ClickSample,
+                 dataset: ClickDataset) -> float:
+    """Linear score of a sample: sum of its active features' weights."""
+    return sum((weights.get(dataset.weight_key(f)) or 0.0)
+               for f in sample.features)
+
+
+def sample_loss(weights: Mapping[str, float], sample: ClickSample,
+                dataset: ClickDataset) -> float:
+    """Logistic loss -log sigmoid(y * z), numerically stable."""
+    margin = sample.label * sample_score(weights, sample, dataset)
+    # log(1 + exp(-m)) without overflow
+    if margin > 0:
+        return math.log1p(math.exp(-margin))
+    return -margin + math.log1p(math.exp(margin))
+
+
+def dataset_loss(weights: Mapping[str, float], dataset: ClickDataset,
+                 samples: Iterable[ClickSample] | None = None) -> float:
+    """Mean logistic loss over the dataset (or a subset)."""
+    samples = list(samples) if samples is not None else dataset.samples
+    if not samples:
+        return 0.0
+    return sum(sample_loss(weights, s, dataset) for s in samples) / len(samples)
+
+
+def sample_gradient(weights: Mapping[str, float], sample: ClickSample,
+                    dataset: ClickDataset) -> dict[str, float]:
+    """Gradient of the logistic loss w.r.t. the sample's active weights.
+
+    d/dw_f of -log sigmoid(y z) = -(y)(1 - sigmoid(y z)) for active f.
+    """
+    z = sample_score(weights, sample, dataset)
+    coeff = -sample.label * (1.0 - sigmoid(sample.label * z))
+    return {dataset.weight_key(f): coeff for f in sample.features}
+
+
+def optimum_loss(dataset: ClickDataset) -> float:
+    """Loss of the planted generating model — the convergence target."""
+    weights = {dataset.weight_key(i): w for i, w in enumerate(dataset.true_weights)}
+    return dataset_loss(weights, dataset)
+
+
+def initial_loss(dataset: ClickDataset) -> float:
+    """Loss of the all-zero model (training starting point)."""
+    return dataset_loss({}, dataset)

@@ -1,0 +1,142 @@
+"""Recovering intermediate results after anomaly storms (§8 future work).
+
+The paper's second future direction: for non-convex models, "when the
+system goes wrong (e.g. excessive number of anomalies 'ruin' the model)
+the model is not able to recover itself", so the intermediate result
+should be restored.  :class:`RecoveringTrainer` implements the natural
+design over this repository's stack:
+
+- after every round it inspects the monitor's windowed anomaly rate and
+  the loss;
+- while the run is healthy, it checkpoints the shared model;
+- when the loss blows past the best checkpoint by ``blowup_factor`` —
+  or the anomaly rate exceeds ``anomaly_threshold`` — it *rolls the
+  shared store back* to the last good checkpoint and tightens the
+  staleness bound one rung, so the restored model is not immediately
+  ruined again.
+
+The checkpoint/rollback acts on the simulator's store between rounds
+(a quiesced point: ``Simulator.run`` drains all pending writes), so no
+in-flight write can resurrect the ruined state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import DEFAULT_LADDER
+from repro.ml.async_sgd import AsyncTrainer
+
+
+@dataclass
+class RecoveryEvent:
+    """One rollback: when, why, and what it restored."""
+
+    round_index: int
+    reason: str  # "loss_blowup" | "anomaly_spike"
+    loss_before: float
+    loss_restored: float
+    new_bound: int | None
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of a recovering training run."""
+
+    final_loss: float
+    best_loss: float
+    rounds: int
+    events: list[RecoveryEvent] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def rollbacks(self) -> int:
+        return len(self.events)
+
+
+class RecoveringTrainer:
+    """Checkpoint/rollback + staleness tightening around an AsyncTrainer.
+
+    Parameters
+    ----------
+    trainer:
+        The underlying :class:`~repro.ml.async_sgd.AsyncTrainer`.
+    blowup_factor:
+        Roll back when the loss exceeds ``blowup_factor *`` the best
+        checkpointed loss.
+    anomaly_threshold:
+        Roll back when the windowed anomaly rate (anomalies per
+        simulated step) exceeds this, regardless of the loss — the
+        monitor acting *before* the damage is measurable, which is the
+        paper's pitch.  ``None`` disables the anomaly trigger.
+    ladder:
+        Staleness bounds, tightest first; each rollback steps one rung
+        tighter from the current position.
+    """
+
+    def __init__(self, trainer: AsyncTrainer, blowup_factor: float = 1.5,
+                 anomaly_threshold: float | None = None,
+                 ladder: tuple[int | None, ...] = DEFAULT_LADDER) -> None:
+        if blowup_factor <= 1.0:
+            raise ValueError("blowup_factor must be > 1")
+        self.trainer = trainer
+        self.blowup_factor = blowup_factor
+        self.anomaly_threshold = anomaly_threshold
+        self.ladder = ladder
+        current = trainer.simulator.config.staleness_bound
+        self._position = (
+            ladder.index(current) if current in ladder else len(ladder) - 1
+        )
+        self._checkpoint: dict = dict(trainer.simulator.store)
+        self._checkpoint_loss = trainer.current_loss()
+
+    @property
+    def bound(self) -> int | None:
+        return self.ladder[self._position]
+
+    def _tighten(self) -> None:
+        if self._position > 0:
+            self._position -= 1
+
+    def train(self, rounds: int) -> RecoveryResult:
+        """Run ``rounds`` monitored rounds with rollback protection."""
+        trainer = self.trainer
+        result = RecoveryResult(final_loss=self._checkpoint_loss,
+                                best_loss=self._checkpoint_loss, rounds=0)
+        for round_index in range(rounds):
+            trainer.simulator.config.staleness_bound = self.bound
+            start_time = trainer.simulator.now
+            trainer.simulator.run(trainer._round_buus())
+            report = trainer.monitor.report(trainer.simulator.now)
+            window = max(1, trainer.simulator.now - start_time)
+            rate = report.anomalies / window
+            loss = trainer.current_loss()
+            result.rounds = round_index + 1
+
+            blowup = (loss != loss  # NaN
+                      or loss > self.blowup_factor * self._checkpoint_loss)
+            spike = (self.anomaly_threshold is not None
+                     and rate > self.anomaly_threshold)
+            if blowup or spike:
+                reason = "loss_blowup" if blowup else "anomaly_spike"
+                self._tighten()
+                trainer.simulator.store.clear()
+                trainer.simulator.store.update(self._checkpoint)
+                restored = trainer.current_loss()
+                result.events.append(RecoveryEvent(
+                    round_index=round_index,
+                    reason=reason,
+                    loss_before=loss,
+                    loss_restored=restored,
+                    new_bound=self.bound,
+                ))
+                result.losses.append(restored)
+                continue
+
+            result.losses.append(loss)
+            if loss < self._checkpoint_loss:
+                self._checkpoint = dict(trainer.simulator.store)
+                self._checkpoint_loss = loss
+                result.best_loss = loss
+        result.final_loss = trainer.current_loss()
+        return result

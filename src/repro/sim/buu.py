@@ -1,0 +1,56 @@
+"""Basic update units (BUUs) as executable specifications.
+
+Section 2.2: a BUU is a user-specified group of reads and writes that the
+application would like to be atomic — a sub-gradient step, a vertex's
+label propagation, a lightweight transaction.  Here a BUU declares the
+keys it reads and a pure ``compute`` function that maps the values it
+read to the values it writes; the simulator supplies the (possibly stale)
+read values and schedules the writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.types import Key
+
+#: compute(read_values) -> {key: new_value}
+ComputeFn = Callable[[dict[Key, Any]], dict[Key, Any]]
+
+
+@dataclass
+class Buu:
+    """One basic update unit.
+
+    ``reads`` are issued one per simulator step (in order), then
+    ``compute`` runs, then each write is issued one per step.  If
+    ``compute`` is None, ``writes_hint`` keys are written back with their
+    read values unchanged (a pure read-modify-write of identity, still
+    generating conflicts).
+
+    ``additive`` selects parameter-server write semantics (Appendix A):
+    the computed value is *added* to the stored value at apply time
+    instead of overwriting it.  Gradient pushes and stock decrements are
+    additive; label/colour assignments are overwrites.
+    """
+
+    reads: Sequence[Key]
+    compute: ComputeFn | None = None
+    writes_hint: Sequence[Key] = field(default_factory=tuple)
+    additive: bool = False
+    tag: Any = None
+
+    def run_compute(self, values: dict[Key, Any]) -> dict[Key, Any]:
+        if self.compute is not None:
+            return self.compute(values)
+        return {key: values.get(key) for key in self.writes_hint}
+
+
+def read_modify_write(keys: Sequence[Key], update: Callable[[Any], Any]) -> Buu:
+    """A BUU that reads ``keys`` and writes ``update(value)`` back to each."""
+
+    def compute(values: dict[Key, Any]) -> dict[Key, Any]:
+        return {key: update(values.get(key)) for key in keys}
+
+    return Buu(reads=list(keys), compute=compute)

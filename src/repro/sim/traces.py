@@ -1,0 +1,128 @@
+"""Recording and replaying operation traces (JSONL).
+
+A *trace* is a portable record of one simulated execution: the
+visibility-ordered operation stream and the BUU lifecycle events.  Traces
+let a monitoring configuration be debugged against a frozen execution,
+make bug reports reproducible, and are how the bench harness feeds
+byte-identical conflicts to different collectors.
+
+Format: one JSON object per line —
+
+    {"t": "op", "op": "r"|"w", "buu": 3, "key": "x", "seq": 17}
+    {"t": "begin"|"commit", "buu": 3, "time": 12}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.core.types import Operation, OpType
+
+
+class TraceWriter:
+    """Simulator listener that streams events to a JSONL file handle."""
+
+    def __init__(self, handle: IO[str]) -> None:
+        self._handle = handle
+        self.events_written = 0
+
+    def on_operation(self, op: Operation) -> None:
+        self._write({"t": "op", "op": op.op.value, "buu": op.buu,
+                     "key": op.key, "seq": op.seq})
+
+    def begin_buu(self, buu: int, time: int) -> None:
+        self._write({"t": "begin", "buu": buu, "time": time})
+
+    def commit_buu(self, buu: int, time: int) -> None:
+        self._write({"t": "commit", "buu": buu, "time": time})
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self.events_written += 1
+
+
+class Trace:
+    """An in-memory trace: ops plus lifecycle events."""
+
+    def __init__(self) -> None:
+        self.ops: list[Operation] = []
+        self.begins: list[tuple[int, int]] = []
+        self.commits: list[tuple[int, int]] = []
+
+    # -- capture ------------------------------------------------------------
+
+    def on_operation(self, op: Operation) -> None:
+        self.ops.append(op)
+
+    def begin_buu(self, buu: int, time: int) -> None:
+        self.begins.append((buu, time))
+
+    def commit_buu(self, buu: int, time: int) -> None:
+        self.commits.append((buu, time))
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w") as handle:
+            writer = TraceWriter(handle)
+            events: list[tuple[int, int, dict]] = []
+            for buu, t in self.begins:
+                events.append((t, 0, {"t": "begin", "buu": buu, "time": t}))
+            for op in self.ops:
+                events.append(
+                    (op.seq, 1, {"t": "op", "op": op.op.value, "buu": op.buu,
+                                 "key": op.key, "seq": op.seq})
+                )
+            for buu, t in self.commits:
+                events.append((t, 2, {"t": "commit", "buu": buu, "time": t}))
+            for _, _, record in sorted(events, key=lambda e: (e[0], e[1])):
+                writer._write(record)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        trace = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record["t"]
+                if kind == "op":
+                    trace.ops.append(
+                        Operation(OpType(record["op"]), record["buu"],
+                                  record["key"], record["seq"])
+                    )
+                elif kind == "begin":
+                    trace.begins.append((record["buu"], record["time"]))
+                elif kind == "commit":
+                    trace.commits.append((record["buu"], record["time"]))
+                else:
+                    raise ValueError(f"unknown trace record type {kind!r}")
+        return trace
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self, listeners: Iterable) -> None:
+        """Deliver the trace's events, in time order, to listeners that
+        implement the simulator's listener protocol."""
+        events: list[tuple[int, int, str, object]] = []
+        for buu, t in self.begins:
+            events.append((t, 0, "begin", buu))
+        for op in self.ops:
+            events.append((op.seq, 1, "op", op))
+        for buu, t in self.commits:
+            events.append((t, 2, "commit", buu))
+        listeners = list(listeners)
+        for t, _, kind, payload in sorted(events, key=lambda e: (e[0], e[1])):
+            for listener in listeners:
+                if kind == "op":
+                    handler = getattr(listener, "on_operation", None)
+                    if handler is not None:
+                        handler(payload)
+                else:
+                    handler = getattr(listener, f"{kind}_buu", None)
+                    if handler is not None:
+                        handler(payload, t)

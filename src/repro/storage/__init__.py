@@ -1,0 +1,28 @@
+"""Shared-storage substrate: instrumented KV store and history builders."""
+
+from repro.storage.history import (
+    BuuProgram,
+    count_consecutive_write_pairs,
+    interleaved_history,
+    lifecycle_bounds,
+    program,
+    random_rw_permutation,
+    serial_history,
+)
+from repro.storage.kvstore import KVStore, OperationListener
+from repro.storage.wal import LogParser, LogRecord, WriteAheadLog
+
+__all__ = [
+    "BuuProgram",
+    "count_consecutive_write_pairs",
+    "interleaved_history",
+    "lifecycle_bounds",
+    "program",
+    "random_rw_permutation",
+    "serial_history",
+    "KVStore",
+    "OperationListener",
+    "LogParser",
+    "LogRecord",
+    "WriteAheadLog",
+]

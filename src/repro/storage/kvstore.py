@@ -1,0 +1,66 @@
+"""A minimal instrumented in-memory key-value store.
+
+The shared storage of Fig 4: workers read and write named items; every
+operation that becomes *visible* is forwarded, in visibility order, to
+subscribed listeners — the paper's collector sits exactly at this point
+("the col is an inner component of the storage").
+
+Direct use of this class gives the zero-latency, immediately-visible
+semantics; the simulator (:mod:`repro.sim.scheduler`) layers delayed
+write visibility and staleness on top and drives the same listener
+protocol itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.types import BuuId, Key, Operation, OpType
+
+#: A listener receives every visible operation, in order.
+OperationListener = Callable[[Operation], None]
+
+
+class KVStore:
+    """Dict-backed store that notifies listeners of every operation."""
+
+    def __init__(self, initial: dict[Key, Any] | None = None) -> None:
+        self._data: dict[Key, Any] = dict(initial or {})
+        self._listeners: list[OperationListener] = []
+        self._seq = 0
+
+    def subscribe(self, listener: OperationListener) -> None:
+        self._listeners.append(listener)
+
+    def subscribe_monitor(self, monitor) -> None:
+        """Subscribe anything exposing ``on_operation`` (e.g. RushMon)."""
+        self.subscribe(monitor.on_operation)
+
+    @property
+    def seq(self) -> int:
+        """The logical clock: one tick per visible operation."""
+        return self._seq
+
+    def read(self, buu: BuuId, key: Key) -> Any:
+        self._seq += 1
+        self._notify(Operation(OpType.READ, buu, key, self._seq))
+        return self._data.get(key)
+
+    def write(self, buu: BuuId, key: Key, value: Any) -> None:
+        self._seq += 1
+        self._data[key] = value
+        self._notify(Operation(OpType.WRITE, buu, key, self._seq))
+
+    def peek(self, key: Key) -> Any:
+        """Read without generating an operation (for analysis code)."""
+        return self._data.get(key)
+
+    def snapshot(self) -> dict[Key, Any]:
+        return dict(self._data)
+
+    def keys(self) -> Iterable[Key]:
+        return self._data.keys()
+
+    def _notify(self, op: Operation) -> None:
+        for listener in self._listeners:
+            listener(op)

@@ -1,0 +1,28 @@
+"""Workloads: the §7.2 synthetic workload, bookstore, dataset stand-ins."""
+
+from repro.workloads.bookstore import Bookstore, BookstoreConfig, ViolationCounter
+from repro.workloads.datasets import (
+    REAL_GRAPH_SPECS,
+    ClickDataset,
+    ClickSample,
+    scaled_real_graph_standin,
+    synthetic_click_dataset,
+)
+from repro.workloads.graph_workload import GraphWorkload, GraphWorkloadConfig
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload, ZipfianGenerator
+
+__all__ = [
+    "Bookstore",
+    "BookstoreConfig",
+    "ViolationCounter",
+    "REAL_GRAPH_SPECS",
+    "ClickDataset",
+    "ClickSample",
+    "scaled_real_graph_standin",
+    "synthetic_click_dataset",
+    "GraphWorkload",
+    "GraphWorkloadConfig",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+]

@@ -1,0 +1,142 @@
+"""The Section 7.1 online-bookstore experiment (Fig 11).
+
+An inventory of books, each with an initial stock; ``c`` concurrent
+customers repeatedly select ``b`` books, check their stock, think for
+``t`` (simulated steps), then decrement the stocks *without
+re-validating* — a textbook write-skew-prone transaction.  A curator
+periodically resets non-positive stocks.  A *violation* is a purchase
+write that leaves a stock negative; the experiment correlates the
+violation rate with the monitor's 2-/3-cycle counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.types import Operation, OpType
+from repro.sim.buu import Buu
+from repro.sim.scheduler import SimConfig, Simulator
+
+
+@dataclass
+class BookstoreConfig:
+    """Paper parameters (scaled): 1000 books, stock 10, c/b/t varied."""
+
+    num_books: int = 200
+    initial_stock: int = 10
+    customers: int = 8          # the paper's c (number of workers)
+    books_per_order: int = 3    # the paper's b
+    think_time: int = 20        # the paper's t, in simulator steps
+    curator_interval: int = 400  # purchases between curator sweeps
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_books < 1 or self.customers < 1 or self.books_per_order < 1:
+            raise ValueError("num_books, customers and books_per_order must be >= 1")
+        if self.books_per_order > self.num_books:
+            raise ValueError("books_per_order cannot exceed num_books")
+
+
+class ViolationCounter:
+    """Simulator listener counting purchase writes that go negative."""
+
+    def __init__(self, store: dict) -> None:
+        self._store = store
+        self.violations = 0
+        self.purchase_writes = 0
+        self.suspended = False  # set while the curator runs
+
+    def on_operation(self, op: Operation) -> None:
+        if self.suspended or op.op is not OpType.WRITE or not _is_book(op.key):
+            return
+        self.purchase_writes += 1
+        value = self._store.get(op.key, 0)
+        if value is not None and value < 0:
+            self.violations += 1
+
+    @property
+    def violation_rate(self) -> float:
+        if self.purchase_writes == 0:
+            return 0.0
+        return self.violations / self.purchase_writes
+
+
+def _is_book(key) -> bool:
+    return isinstance(key, str) and key.startswith("b")
+
+
+class Bookstore:
+    """Drives the bookstore workload on the simulator.
+
+    Usage: construct, optionally subscribe monitors via
+    ``simulator.subscribe``, then :meth:`run`.
+    """
+
+    def __init__(self, config: BookstoreConfig | None = None,
+                 sim_config: SimConfig | None = None) -> None:
+        self.config = config or BookstoreConfig()
+        store = {self.book_key(i): self.config.initial_stock
+                 for i in range(self.config.num_books)}
+        self.simulator = Simulator(
+            sim_config
+            or SimConfig(num_workers=self.config.customers,
+                         compute_jitter=self.config.think_time,
+                         seed=self.config.seed),
+            store=store,
+        )
+        self.counter = ViolationCounter(self.simulator.store)
+        self.simulator.subscribe(self.counter)
+        self._rng = random.Random(self.config.seed + 17)
+
+    def book_key(self, index: int) -> str:
+        return f"b{index}"
+
+    @property
+    def items(self) -> list[str]:
+        return [self.book_key(i) for i in range(self.config.num_books)]
+
+    def purchase_buu(self) -> Buu:
+        """One customer order: read b stocks; decrement them if all > 0.
+
+        The decrement is an additive write (a parameter-server-style
+        delta), so concurrent stale orders can drive a stock negative —
+        the violation the experiment measures.
+        """
+        books = [self.book_key(i) for i in
+                 self._rng.sample(range(self.config.num_books),
+                                  self.config.books_per_order)]
+
+        def compute(values: dict) -> dict:
+            if any((values.get(b) or 0) <= 0 for b in books):
+                return {}  # customer leaves: no stock
+            return {b: -1 for b in books}
+
+        return Buu(reads=books, compute=compute, additive=True)
+
+    def curator_buu(self) -> Buu:
+        """Reset every non-positive stock to the initial level."""
+        books = self.items
+
+        def compute(values: dict) -> dict:
+            return {
+                b: self.config.initial_stock
+                for b in books
+                if (values.get(b) or 0) <= 0
+            }
+
+        return Buu(reads=books, compute=compute, additive=False)
+
+    def run(self, num_purchases: int) -> ViolationCounter:
+        """Run ``num_purchases`` orders with periodic curator sweeps."""
+        remaining = num_purchases
+        while remaining > 0:
+            batch = min(self.config.curator_interval, remaining)
+            self.simulator.run(self.purchase_buu() for _ in range(batch))
+            remaining -= batch
+            # run() drains pending purchase writes, so suspending the
+            # violation counter here only skips the curator's own ops.
+            self.counter.suspended = True
+            self.simulator.run([self.curator_buu()])
+            self.counter.suspended = False
+        return self.counter

@@ -1,0 +1,116 @@
+"""Tests for the benchmark harness itself (replay, overhead, reporting)."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import (
+    SAMPLING_RATES,
+    measure_collector,
+    record_graph_workload,
+    record_workload_from_buus,
+    scale,
+)
+from repro.bench.reporting import format_table
+from repro.core.collector import BaselineCollector, DataCentricCollector
+from repro.sim import read_modify_write
+
+
+class TestScale:
+    def test_default_is_identity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale(100) == 100
+
+    def test_multiplier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert scale(100) == 250
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scale(100, minimum=7) == 7
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return record_graph_workload(num_buus=300, num_vertices=200,
+                                 average_degree=6, num_workers=4, seed=77)
+
+
+class TestRecordedRun:
+    def test_records_everything(self, small_run):
+        assert small_run.ops
+        assert len(small_run.begins) == 300
+        assert len(small_run.commits) == 300
+        assert small_run.app_seconds > 0
+        assert small_run.num_items == 200
+
+    def test_from_buus(self):
+        run = record_workload_from_buus(
+            [read_modify_write(["a"], lambda v: (v or 0) + 1)
+             for _ in range(20)],
+            num_items=1, num_workers=2, seed=1,
+        )
+        assert len(run.commits) == 20
+
+
+class TestMeasureCollector:
+    def test_unsampled_reference(self, small_run):
+        m = measure_collector(BaselineCollector(), small_run, "US")
+        assert m.edges > 0
+        assert m.estimated_2 == m.raw.two_cycles  # p=1: estimate == raw
+        assert m.collect_seconds > 0
+
+    def test_replay_is_repeatable(self, small_run):
+        a = measure_collector(
+            DataCentricCollector(sampling_rate=3, mob=False, seed=1),
+            small_run, "a")
+        b = measure_collector(
+            DataCentricCollector(sampling_rate=3, mob=False, seed=1),
+            small_run, "b")
+        assert a.edges == b.edges
+        assert a.estimated_2 == b.estimated_2
+
+    def test_pruning_inside_replay_preserves_counts(self, small_run):
+        pruned = measure_collector(BaselineCollector(), small_run, "p",
+                                   pruning="both", prune_interval=50)
+        unpruned = measure_collector(BaselineCollector(), small_run, "u",
+                                     pruning="none")
+        assert pruned.raw.two_cycles == unpruned.raw.two_cycles
+        assert pruned.raw.three_cycles == unpruned.raw.three_cycles
+
+    def test_edge_estimator_selection(self, small_run):
+        from repro.core.collector import EdgeSamplingCollector
+
+        m = measure_collector(EdgeSamplingCollector(sampling_rate=2),
+                              small_run, "es", estimator="edge")
+        assert m.estimated_2 == m.raw.two_cycles * 4  # 1/p^2
+
+    def test_unknown_estimator(self, small_run):
+        with pytest.raises(ValueError):
+            measure_collector(BaselineCollector(), small_run, "x",
+                              estimator="bayes")
+
+    def test_overhead_accessors(self, small_run):
+        m = measure_collector(BaselineCollector(), small_run, "US")
+        base = m.overhead_percent(small_run.app_seconds)
+        with_det = m.overhead_with_detection_percent(small_run.app_seconds)
+        assert with_det >= base > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table("T", ["a", "long header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "long header" in lines[2]
+        # all rows equal width per column: '333' padded under 'a'
+        assert lines[4].startswith("333")
+
+    def test_format_table_float_rendering(self):
+        table = format_table("T", ["v"], [[0.123456], [12345.6], [0.0001]])
+        assert "0.123" in table
+        assert "1.23e+04" in table
+        assert "0.0001" in table
+
+    def test_sampling_rates_constant(self):
+        assert SAMPLING_RATES == (1, 2, 5, 10, 20, 50, 100)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.sampling_rate == 1
+        assert args.pruning == "both"
+        assert args.windows == 5
+
+    def test_sweep_knob_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--knob", "magic"])
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--windows", "2", "--buus", "100",
+                     "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "est 2-cycles" in out
+        assert "total:" in out
+
+    def test_sweep_runs(self, capsys):
+        assert main(["sweep", "--knob", "staleness", "--values", "1,0",
+                     "--buus", "150", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "per-kstep" in out
+        assert len(out.strip().splitlines()) == 3  # header + 2 values
+
+    def test_sweep_latency(self, capsys):
+        assert main(["sweep", "--knob", "latency", "--values", "0,200",
+                     "--buus", "150", "--workers", "4"]) == 0
+
+    def test_bookstore_runs(self, capsys):
+        assert main(["bookstore", "--purchases", "200", "--workers", "8",
+                     "--books", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "violation rate" in out
+
+    def test_record_and_analyze(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["record", "--out", trace_path, "--buus", "150",
+                     "--workers", "4"]) == 0
+        assert main(["analyze", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "exact:" in out
+        assert "estimated:" in out
+
+    def test_analyze_unsampled_matches_exact(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.jsonl")
+        main(["record", "--out", trace_path, "--buus", "200",
+              "--workers", "8", "--latency", "200"])
+        capsys.readouterr()
+        main(["analyze", trace_path, "--no-mob"])
+        out = capsys.readouterr().out
+        exact_line = next(l for l in out.splitlines() if l.startswith("exact"))
+        est_line = next(l for l in out.splitlines() if l.startswith("estimated"))
+        exact_two = int(exact_line.split()[1])
+        est_two = float(est_line.split()[1])
+        assert est_two == exact_two
+
+    def test_serializable_quickstart_quiet(self, capsys):
+        assert main(["quickstart", "--windows", "1", "--buus", "150",
+                     "--workers", "8", "--isolation", "serializable",
+                     "--latency", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "total: 0 two-cycles, 0 three-cycles" in out
+
+
+class TestCheckCommand:
+    def test_check_serializable_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "clean.jsonl")
+        main(["record", "--out", trace_path, "--buus", "100",
+              "--workers", "4", "--isolation", "serializable",
+              "--latency", "0"])
+        capsys.readouterr()
+        assert main(["check", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "serializable: yes" in out
+        assert "witness serial order" in out
+
+    def test_check_chaotic_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "chaos.jsonl")
+        main(["record", "--out", trace_path, "--buus", "300",
+              "--workers", "16", "--latency", "300"])
+        capsys.readouterr()
+        assert main(["check", trace_path]) == 1
+        out = capsys.readouterr().out
+        assert "serializable: NO" in out
+        assert "violating cycle" in out

@@ -1,0 +1,382 @@
+"""Tests for the three collectors (Algorithm 1, ES, Algorithm 2/DCS)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collector import (
+    BaselineCollector,
+    DataCentricCollector,
+    EdgeSamplingCollector,
+    ItemSampler,
+)
+from repro.core.types import Edge, EdgeType, Operation, OpType
+
+
+def ops_from(spec):
+    """Build operations from ("r"|"w", buu, key) triples."""
+    out = []
+    for seq, (kind, buu, key) in enumerate(spec, start=1):
+        op_type = OpType.READ if kind == "r" else OpType.WRITE
+        out.append(Operation(op_type, buu, key, seq))
+    return out
+
+
+#: The Figure 5(a) history: three BUUs over items x, y, z.
+FIG5_HISTORY = ops_from(
+    [
+        ("w", 1, "x"),
+        ("r", 2, "x"),
+        ("w", 2, "y"),
+        ("w", 3, "y"),
+        ("w", 3, "x"),
+        ("r", 1, "x"),
+        ("r", 2, "y"),
+        ("w", 2, "z"),
+        ("w", 2, "y"),
+        ("w", 1, "z"),
+    ]
+)
+
+
+def edge_triples(edges):
+    return sorted((e.src, e.dst, e.kind.value, e.label) for e in edges)
+
+
+class TestBaselineCollector:
+    def test_fig5_history(self):
+        """Algorithm 1 applied to the paper's Figure 5(a) example.
+
+        Derived by hand from the pseudocode; note the paper's simplified
+        figure omits the rw(x) edge from T2 to T3 that Algorithm 1
+        produces (r2(x) is overwritten by w3(x)).
+        """
+        collector = BaselineCollector()
+        edges = collector.handle_all(FIG5_HISTORY)
+        assert edge_triples(edges) == sorted(
+            [
+                (1, 2, "wr", "x"),  # r2(x) reads w1(x)
+                (2, 3, "ww", "y"),  # w3(y) overwrites w2(y), no readers
+                (2, 3, "rw", "x"),  # w3(x) overwrites r2(x)'s read
+                (3, 1, "wr", "x"),  # r1(x) reads w3(x)
+                (3, 2, "wr", "y"),  # r2(y) reads w3(y)
+                (2, 1, "ww", "z"),  # w1(z) overwrites w2(z), no readers
+            ]
+        )
+
+    def test_wr_edge_requires_previous_write(self):
+        collector = BaselineCollector()
+        assert collector.handle_all(ops_from([("r", 1, "x")])) == []
+
+    def test_self_edges_suppressed(self):
+        collector = BaselineCollector()
+        edges = collector.handle_all(
+            ops_from([("w", 1, "x"), ("r", 1, "x"), ("w", 1, "x")])
+        )
+        assert edges == []
+
+    def test_lost_update_pattern(self):
+        """r1 r2 w1 w2 on one item: the classic lost-update 2-cycle."""
+        collector = BaselineCollector()
+        edges = collector.handle_all(
+            ops_from(
+                [("w", 0, "x"), ("r", 1, "x"), ("r", 2, "x"),
+                 ("w", 1, "x"), ("w", 2, "x")]
+            )
+        )
+        triples = edge_triples(edges)
+        # w1's rw edges fire for readers {1, 2}; the self-edge 1->1 is
+        # suppressed, so only 2->1 rw.  w1 clears readIDs, so w2 then sees
+        # an empty reader set and emits ww 1->2 — completing the 2-cycle.
+        assert (2, 1, "rw", "x") in triples
+        assert (1, 2, "ww", "x") in triples
+
+    def test_lost_update_forms_two_cycle(self):
+        collector = BaselineCollector()
+        edges = collector.handle_all(
+            ops_from(
+                [("w", 0, "x"), ("r", 1, "x"), ("r", 2, "x"),
+                 ("w", 1, "x"), ("w", 2, "x")]
+            )
+        )
+        triples = {(e.src, e.dst) for e in edges}
+        assert (2, 1) in triples and (1, 2) in triples
+
+    def test_ww_chain(self):
+        collector = BaselineCollector()
+        edges = collector.handle_all(
+            ops_from([("w", 1, "x"), ("w", 2, "x"), ("w", 3, "x")])
+        )
+        assert edge_triples(edges) == [
+            (1, 2, "ww", "x"),
+            (2, 3, "ww", "x"),
+        ]
+
+    def test_multiple_readers_fan_in(self):
+        collector = BaselineCollector()
+        edges = collector.handle_all(
+            ops_from(
+                [("w", 1, "x"), ("r", 2, "x"), ("r", 3, "x"), ("r", 4, "x"),
+                 ("w", 5, "x")]
+            )
+        )
+        rw = sorted((e.src, e.dst) for e in edges if e.kind is EdgeType.RW)
+        assert rw == [(2, 5), (3, 5), (4, 5)]
+
+    def test_edge_stats(self):
+        collector = BaselineCollector()
+        collector.handle_all(FIG5_HISTORY)
+        assert collector.stats.as_dict() == {"wr": 3, "ww": 2, "rw": 1}
+
+    def test_touches_counts_all_ops(self):
+        collector = BaselineCollector()
+        collector.handle_all(FIG5_HISTORY)
+        assert collector.touches == len(FIG5_HISTORY)
+
+
+class TestEdgeSamplingCollector:
+    def test_rate_one_equals_baseline(self):
+        baseline = BaselineCollector()
+        es = EdgeSamplingCollector(sampling_rate=1)
+        assert edge_triples(es.handle_all(FIG5_HISTORY)) == edge_triples(
+            baseline.handle_all(FIG5_HISTORY)
+        )
+
+    def test_bookkeeping_cost_unchanged(self):
+        """The §4.2 point: ES pays full bookkeeping regardless of rate."""
+        es = EdgeSamplingCollector(sampling_rate=100)
+        es.handle_all(FIG5_HISTORY)
+        assert es.touches == len(FIG5_HISTORY)
+
+    def test_samples_subset_of_baseline(self):
+        history = _random_history(seed=3, n=500, buus=20, keys=10)
+        baseline = set(edge_triples(BaselineCollector().handle_all(history)))
+        es = EdgeSamplingCollector(sampling_rate=5, rng=random.Random(1))
+        sampled = edge_triples(es.handle_all(history))
+        assert set(sampled) <= baseline
+        assert 0 < len(sampled) < len(baseline)
+
+    def test_sampling_rate_controls_fraction(self):
+        history = _random_history(seed=5, n=4000, buus=100, keys=20)
+        full = len(BaselineCollector().handle_all(history))
+        es = EdgeSamplingCollector(sampling_rate=4, rng=random.Random(2))
+        kept = len(es.handle_all(history))
+        assert kept == pytest.approx(full / 4, rel=0.3)
+
+    def test_stats_reflect_post_sampling(self):
+        history = _random_history(seed=5, n=2000, buus=50, keys=10)
+        es = EdgeSamplingCollector(sampling_rate=10, rng=random.Random(0))
+        kept = es.handle_all(history)
+        assert es.stats.total == len(kept)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            EdgeSamplingCollector(sampling_rate=0)
+
+
+class TestItemSampler:
+    def test_rate_one_chooses_all(self):
+        sampler = ItemSampler(1)
+        assert all(sampler.chosen(k) for k in range(100))
+
+    def test_materialized_sample_size(self):
+        sampler = ItemSampler(10)
+        sampler.materialize(range(5000))
+        chosen = sum(sampler.chosen(k) for k in range(5000))
+        assert chosen == pytest.approx(500, rel=0.15)
+
+    def test_materialized_inclusion_independent(self):
+        """Pairwise joint inclusion ~ p^2 (no fixed-size correlation)."""
+        trials, hits = 2000, 0
+        for seed in range(trials):
+            sampler = ItemSampler(2, seed=seed)
+            sampler.materialize(range(10))
+            if sampler.chosen(0) and sampler.chosen(1):
+                hits += 1
+        assert hits / trials == pytest.approx(0.25, abs=0.03)
+
+    def test_hash_inclusion_independent(self):
+        trials, hits = 2000, 0
+        for seed in range(trials):
+            sampler = ItemSampler(2, seed=seed)
+            if sampler.chosen(0) and sampler.chosen(1):
+                hits += 1
+        assert hits / trials == pytest.approx(0.25, abs=0.03)
+
+    def test_hash_sampling_fraction(self):
+        sampler = ItemSampler(5, seed=42)
+        chosen = sum(sampler.chosen(k) for k in range(5000))
+        assert chosen == pytest.approx(1000, rel=0.15)
+
+    def test_deterministic(self):
+        a = ItemSampler(7, seed=1)
+        b = ItemSampler(7, seed=1)
+        assert [a.chosen(k) for k in range(200)] == [b.chosen(k) for k in range(200)]
+
+    def test_reseed_changes_sample(self):
+        sampler = ItemSampler(5, seed=1)
+        before = {k for k in range(500) if sampler.chosen(k)}
+        sampler.reseed(999)
+        after = {k for k in range(500) if sampler.chosen(k)}
+        assert before != after
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ItemSampler(0)
+
+
+class TestDataCentricCollector:
+    def test_rate_one_no_mob_equals_baseline(self):
+        history = _random_history(seed=11, n=1000, buus=30, keys=8)
+        baseline = BaselineCollector()
+        dcs = DataCentricCollector(sampling_rate=1, mob=False)
+        assert edge_triples(dcs.handle_all(history)) == edge_triples(
+            baseline.handle_all(history)
+        )
+
+    def test_fig5_sampled_items(self):
+        """Example 5.1: with x and z chosen, only x/z edges are issued."""
+        dcs = DataCentricCollector(sampling_rate=2, mob=False, items=["x", "z"])
+        dcs.sampler._chosen = {"x", "z"}  # pin the paper's exact choice
+        edges = dcs.handle_all(FIG5_HISTORY)
+        assert edge_triples(edges) == sorted(
+            [
+                (1, 2, "wr", "x"),
+                (2, 3, "rw", "x"),
+                (3, 1, "wr", "x"),
+                (2, 1, "ww", "z"),
+            ]
+        )
+
+    def test_unchosen_items_pay_no_bookkeeping(self):
+        dcs = DataCentricCollector(sampling_rate=2, mob=False, items=["x", "z"])
+        dcs.sampler._chosen = {"x"}
+        dcs.handle_all(FIG5_HISTORY)
+        # Only the 4 x-operations touch bookkeeping.
+        assert dcs.touches == 4
+
+    def test_mob_equals_full_when_single_reader(self):
+        """rwrw interleavings (the ML pattern) lose nothing under MOB."""
+        spec = []
+        for i in range(1, 40):
+            spec.append(("r", i, "x"))
+            spec.append(("w", i, "x"))
+        history = ops_from(spec)
+        full = DataCentricCollector(sampling_rate=1, mob=False)
+        mob = DataCentricCollector(sampling_rate=1, mob=True)
+        assert edge_triples(mob.handle_all(history)) == edge_triples(
+            full.handle_all(history)
+        )
+        assert mob.discard_ratio == 0.0
+
+    def test_mob_keeps_one_rw_edge_per_write(self):
+        history = ops_from(
+            [("w", 0, "x"), ("r", 1, "x"), ("r", 2, "x"), ("r", 3, "x"),
+             ("w", 4, "x")]
+        )
+        mob = DataCentricCollector(sampling_rate=1, mob=True, seed=3,
+                                   mob_slots=1)
+        edges = mob.handle_all(history)
+        rw = [e for e in edges if e.kind is EdgeType.RW]
+        assert len(rw) == 1
+        assert rw[0].src in {1, 2, 3} and rw[0].dst == 4
+        assert mob.discarded_reads == 2
+
+    def test_mob_reservoir_uniform(self):
+        """The surviving reader is uniform among the readers (Vitter)."""
+        winners = {1: 0, 2: 0, 3: 0}
+        trials = 3000
+        for seed in range(trials):
+            history = ops_from(
+                [("w", 0, "x"), ("r", 1, "x"), ("r", 2, "x"), ("r", 3, "x"),
+                 ("w", 4, "x")]
+            )
+            mob = DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
+                                       mob_slots=1)
+            edges = mob.handle_all(history)
+            rw = [e for e in edges if e.kind is EdgeType.RW]
+            winners[rw[0].src] += 1
+        for count in winners.values():
+            assert count == pytest.approx(trials / 3, rel=0.15)
+
+    def test_ww_calibration_discards(self):
+        """Once reads are being discarded, ww edges thin at the same ratio."""
+        spec = [("w", 0, "x")]
+        # Phase 1: many multi-reader groups to drive the discard ratio up.
+        buu = 1
+        for _ in range(200):
+            for _ in range(4):
+                spec.append(("r", buu, "x"))
+                buu += 1
+            spec.append(("w", buu, "x"))
+            buu += 1
+        # Phase 2: many pure ww pairs.
+        ww_writes = 400
+        for _ in range(ww_writes):
+            spec.append(("w", buu, "x"))
+            buu += 1
+        mob = DataCentricCollector(sampling_rate=1, mob=True, seed=7)
+        edges = mob.handle_all(ops_from(spec))
+        ww = sum(1 for e in edges if e.kind is EdgeType.WW)
+        # 2 of every 4 reads are discarded (default 2-slot array), so the
+        # discard ratio converges to 1/2 and ~1/2 of ww edges survive.
+        assert ww == pytest.approx(ww_writes * 0.5, rel=0.3)
+
+    def test_resampling_switches_items(self):
+        dcs = DataCentricCollector(
+            sampling_rate=2, mob=False, seed=1, resample_interval=100
+        )
+        epoch0 = {k for k in range(100) if dcs.sampler.chosen(k)}
+        dcs.handle_all(_random_history(seed=1, n=150, buus=10, keys=20))
+        epoch1 = {k for k in range(100) if dcs.sampler.chosen(k)}
+        assert epoch0 != epoch1
+
+    def test_resampling_resets_state(self):
+        dcs = DataCentricCollector(
+            sampling_rate=1, mob=False, seed=1, resample_interval=3
+        )
+        # The switch after op 3 forgets lastWrite, so the read at op 4
+        # produces no wr edge (the §5.1 warm-up phase).
+        history = ops_from(
+            [("w", 1, "x"), ("r", 2, "x"), ("w", 3, "x"), ("r", 4, "x")]
+        )
+        edges = dcs.handle_all(history)
+        kinds = [(e.src, e.dst, e.kind.value) for e in edges]
+        assert (1, 2, "wr") in kinds
+        assert all(dst != 4 for _, dst, _ in kinds)
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_property_dcs_edges_subset_of_baseline(seed):
+    """Every DCS edge (any rate, no MOB) exists in the baseline stream."""
+    history = _random_history(seed=seed, n=300, buus=20, keys=12)
+    baseline = set(edge_triples(BaselineCollector().handle_all(history)))
+    dcs = DataCentricCollector(sampling_rate=3, mob=False, seed=seed)
+    assert set(edge_triples(dcs.handle_all(history))) <= baseline
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_property_dcs_keeps_all_edges_on_chosen_items(seed):
+    """Data-centric sampling is all-or-nothing per item."""
+    history = _random_history(seed=seed, n=300, buus=20, keys=12)
+    baseline = BaselineCollector().handle_all(history)
+    dcs = DataCentricCollector(sampling_rate=3, mob=False, seed=seed)
+    sampled = set(edge_triples(dcs.handle_all(history)))
+    chosen_labels = {k for k in range(12) if dcs.sampler.chosen(k)}
+    expected = {
+        t for t in edge_triples(baseline) if t[3] in chosen_labels
+    }
+    assert sampled == expected
+
+
+def _random_history(seed, n, buus, keys):
+    rng = random.Random(seed)
+    spec = []
+    for _ in range(n):
+        kind = "r" if rng.random() < 0.5 else "w"
+        spec.append((kind, rng.randrange(buus), rng.randrange(keys)))
+    return ops_from(spec)

@@ -1,0 +1,130 @@
+"""Unbiasedness tests for the Theorem 5.2 estimators."""
+
+import random
+
+import pytest
+
+from repro.core.collector import BaselineCollector, DataCentricCollector
+from repro.core.detector import CycleDetector
+from repro.core.estimator import (
+    estimate_edge_sampled_three_cycles,
+    estimate_edge_sampled_two_cycles,
+    estimate_three_cycles,
+    estimate_two_cycles,
+)
+from repro.core.types import CycleCounts, Operation, OpType
+from repro.graph.cycles import count_labelled_short_cycles
+from repro.graph.dependency import DependencyGraph
+
+
+def test_estimate_identity_at_rate_one():
+    counts = CycleCounts(ss=3, dd=2, sss=1, ssd=4, ddd=5)
+    assert estimate_two_cycles(counts, 1.0) == 5
+    assert estimate_three_cycles(counts, 1.0) == 10
+
+
+def test_example_5_3():
+    """The paper's worked example: one dd 2-cycle at p=0.5 gives E2=4."""
+    counts = CycleCounts(dd=1)
+    assert estimate_two_cycles(counts, 0.5) == 4.0
+    assert estimate_three_cycles(counts, 0.5) == 0.0
+
+
+def test_label_class_weighting():
+    # ss cycles need one coin (1/p); dd need two (1/p^2).
+    assert estimate_two_cycles(CycleCounts(ss=1), 0.1) == pytest.approx(10)
+    assert estimate_two_cycles(CycleCounts(dd=1), 0.1) == pytest.approx(100)
+    assert estimate_three_cycles(CycleCounts(sss=1), 0.1) == pytest.approx(10)
+    assert estimate_three_cycles(CycleCounts(ssd=1), 0.1) == pytest.approx(100)
+    assert estimate_three_cycles(CycleCounts(ddd=1), 0.1) == pytest.approx(1000)
+
+
+@pytest.mark.parametrize("probability", [0.0, -0.5, 1.5])
+def test_invalid_probability(probability):
+    with pytest.raises(ValueError):
+        estimate_two_cycles(CycleCounts(), probability)
+    with pytest.raises(ValueError):
+        estimate_edge_sampled_two_cycles(CycleCounts(), probability)
+
+
+def _conflict_history(seed, n_ops, n_buus, n_keys):
+    rng = random.Random(seed)
+    ops = []
+    for seq in range(1, n_ops + 1):
+        kind = OpType.READ if rng.random() < 0.5 else OpType.WRITE
+        ops.append(Operation(kind, rng.randrange(n_buus), rng.randrange(n_keys), seq))
+    return ops
+
+
+class TestUnbiasednessOverItemSamples:
+    """Average the DCS estimate over many independent item samples and
+    compare with the exact count — the defining property of Theorem 5.2."""
+
+    @pytest.mark.parametrize("sampling_rate", [2, 4])
+    def test_two_and_three_cycles(self, sampling_rate):
+        history = _conflict_history(seed=123, n_ops=600, n_buus=25, n_keys=10)
+        baseline_edges = BaselineCollector().handle_all(history)
+        offline = DependencyGraph()
+        offline.add_edges(baseline_edges)
+        exact = count_labelled_short_cycles(offline)
+        assert exact.two_cycles > 0 and exact.three_cycles > 0
+
+        trials = 400
+        total_e2 = total_e3 = 0.0
+        for trial in range(trials):
+            dcs = DataCentricCollector(
+                sampling_rate=sampling_rate, mob=False, seed=trial
+            )
+            det = CycleDetector()
+            det.add_edges(dcs.handle_all(history))
+            p = dcs.sampling_probability
+            total_e2 += estimate_two_cycles(det.counts, p)
+            total_e3 += estimate_three_cycles(det.counts, p)
+        assert total_e2 / trials == pytest.approx(exact.two_cycles, rel=0.12)
+        assert total_e3 / trials == pytest.approx(exact.three_cycles, rel=0.2)
+
+    def test_materialized_sample_unbiased(self):
+        """Same property with an exact-size materialized item sample."""
+        history = _conflict_history(seed=9, n_ops=600, n_buus=25, n_keys=12)
+        offline = DependencyGraph()
+        offline.add_edges(BaselineCollector().handle_all(history))
+        exact = count_labelled_short_cycles(offline)
+
+        trials = 400
+        total_e2 = 0.0
+        for trial in range(trials):
+            dcs = DataCentricCollector(
+                sampling_rate=3, mob=False, seed=trial, items=range(12)
+            )
+            det = CycleDetector()
+            det.add_edges(dcs.handle_all(history))
+            total_e2 += estimate_two_cycles(det.counts, dcs.sampling_probability)
+        assert total_e2 / trials == pytest.approx(exact.two_cycles, rel=0.15)
+
+
+class TestEdgeSampledEstimator:
+    def test_independent_weighting(self):
+        counts = CycleCounts(ss=1, dd=1, sss=1, ssd=1, ddd=1)
+        # every 2-cycle is 1/p^2 regardless of labels
+        assert estimate_edge_sampled_two_cycles(counts, 0.5) == pytest.approx(8)
+        assert estimate_edge_sampled_three_cycles(counts, 0.5) == pytest.approx(24)
+
+    def test_unbiased_for_edge_sampling(self):
+        from repro.core.collector import EdgeSamplingCollector
+
+        history = _conflict_history(seed=77, n_ops=600, n_buus=25, n_keys=10)
+        offline = DependencyGraph()
+        offline.add_edges(BaselineCollector().handle_all(history))
+        exact = count_labelled_short_cycles(offline)
+        assert exact.two_cycles > 0
+
+        trials = 500
+        total = 0.0
+        for trial in range(trials):
+            es = EdgeSamplingCollector(sampling_rate=2, rng=random.Random(trial))
+            det = CycleDetector()
+            det.add_edges(es.handle_all(history))
+            total += estimate_edge_sampled_two_cycles(
+                det.counts, es.sampling_probability
+            )
+        assert total / trials == pytest.approx(exact.two_cycles, rel=0.12)

@@ -1,0 +1,247 @@
+"""Tests for exact cycle counting, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import CycleCounts
+from repro.graph import (
+    DependencyGraph,
+    count_cycles_johnson,
+    count_labelled_short_cycles,
+    count_simple_cycles_by_length,
+    directed_gnp,
+    expected_k_cycles,
+    johnson_simple_cycles,
+)
+
+
+def random_digraph(num_vertices: int, num_edges: int, seed: int) -> DependencyGraph:
+    rng = random.Random(seed)
+    graph = DependencyGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    for _ in range(num_edges):
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        graph.add(u, v, label=rng.randrange(5))
+    return graph
+
+
+def nx_from(graph: DependencyGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.vertices)
+    g.add_edges_from((u, v) for u, v, _ in graph.edges())
+    return g
+
+
+class TestJohnson:
+    def test_triangle(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(2, 3, "y")
+        graph.add(3, 1, "z")
+        cycles = list(johnson_simple_cycles(graph))
+        assert cycles == [[1, 2, 3]]
+
+    def test_two_cycle(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(2, 1, "y")
+        assert list(johnson_simple_cycles(graph)) == [[1, 2]]
+
+    def test_acyclic(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(2, 3, "x")
+        graph.add(1, 3, "x")
+        assert list(johnson_simple_cycles(graph)) == []
+
+    def test_complete_graph_k4(self):
+        graph = DependencyGraph()
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    graph.add(u, v, "x")
+        # K4 directed: 2-cycles C(4,2)=6; 3-cycles 4C3 * 2 = 8; 4-cycles 3!=6
+        by_len = count_cycles_johnson(graph)
+        assert by_len == {2: 6, 3: 8, 4: 6}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        graph = random_digraph(8, 18, seed)
+        ours = sorted(tuple(c) for c in johnson_simple_cycles(graph))
+        theirs = sorted(
+            tuple(_canonical(c)) for c in nx.simple_cycles(nx_from(graph))
+        )
+        assert ours == theirs
+
+
+def _canonical(cycle):
+    """Rotate a vertex cycle so it starts at its smallest element."""
+    i = cycle.index(min(cycle))
+    return cycle[i:] + cycle[:i]
+
+
+class TestBoundedCounts:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_johnson(self, seed):
+        graph = random_digraph(10, 25, seed)
+        bounded = count_simple_cycles_by_length(graph, max_length=5)
+        full = count_cycles_johnson(graph, max_length=5)
+        for length in range(2, 6):
+            assert bounded[length] == full.get(length, 0)
+
+    def test_empty_graph(self):
+        graph = DependencyGraph()
+        assert count_simple_cycles_by_length(graph) == {k: 0 for k in range(2, 6)}
+
+    @given(st.integers(0, 2**31), st.integers(3, 12), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_networkx_triangles(self, seed, n, e):
+        graph = random_digraph(n, e, seed)
+        ours = count_simple_cycles_by_length(graph, max_length=3)
+        expect = {2: 0, 3: 0}
+        for cycle in nx.simple_cycles(nx_from(graph)):
+            if len(cycle) in expect:
+                expect[len(cycle)] += 1
+        assert ours[2] == expect[2]
+        assert ours[3] == expect[3]
+
+
+class TestLabelledShortCycles:
+    def test_single_2cycle_same_label(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(2, 1, "x")
+        counts = count_labelled_short_cycles(graph)
+        assert (counts.ss, counts.dd) == (1, 0)
+
+    def test_single_2cycle_distinct_labels(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(2, 1, "y")
+        counts = count_labelled_short_cycles(graph)
+        assert (counts.ss, counts.dd) == (0, 1)
+
+    def test_parallel_labels_multiply(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(1, 2, "y")
+        graph.add(2, 1, "x")
+        graph.add(2, 1, "z")
+        counts = count_labelled_short_cycles(graph)
+        # combos: (x,x)=ss, (x,z), (y,x), (y,z) -> 1 ss + 3 dd
+        assert (counts.ss, counts.dd) == (1, 3)
+
+    def test_triangle_label_classes(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(2, 3, "x")
+        graph.add(3, 1, "x")
+        counts = count_labelled_short_cycles(graph)
+        assert (counts.sss, counts.ssd, counts.ddd) == (1, 0, 0)
+
+        graph2 = DependencyGraph()
+        graph2.add(1, 2, "x")
+        graph2.add(2, 3, "x")
+        graph2.add(3, 1, "y")
+        counts2 = count_labelled_short_cycles(graph2)
+        assert (counts2.sss, counts2.ssd, counts2.ddd) == (0, 1, 0)
+
+        graph3 = DependencyGraph()
+        graph3.add(1, 2, "x")
+        graph3.add(2, 3, "y")
+        graph3.add(3, 1, "z")
+        counts3 = count_labelled_short_cycles(graph3)
+        assert (counts3.sss, counts3.ssd, counts3.ddd) == (0, 0, 1)
+
+    def test_triangle_parallel_label_expansion(self):
+        graph = DependencyGraph()
+        graph.add(1, 2, "x")
+        graph.add(1, 2, "y")
+        graph.add(2, 3, "x")
+        graph.add(3, 1, "x")
+        counts = count_labelled_short_cycles(graph)
+        # (x,x,x)=sss and (y,x,x)=ssd
+        assert (counts.sss, counts.ssd, counts.ddd) == (1, 1, 0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_total_matches_bounded_when_single_label(self, seed):
+        rng = random.Random(seed)
+        graph = DependencyGraph()
+        for _ in range(30):
+            graph.add(rng.randrange(9), rng.randrange(9), label="only")
+        counts = count_labelled_short_cycles(graph)
+        by_len = count_simple_cycles_by_length(graph, max_length=3)
+        assert counts.two_cycles == by_len[2]
+        assert counts.three_cycles == by_len[3]
+        assert counts.dd == 0 and counts.ssd == 0 and counts.ddd == 0
+
+    def test_brute_force_label_expansion(self):
+        """Cross-check label classes against a brute-force triple loop."""
+        rng = random.Random(7)
+        graph = DependencyGraph()
+        for _ in range(40):
+            graph.add(rng.randrange(7), rng.randrange(7), label=rng.randrange(3))
+        expected = _brute_force_labelled(graph)
+        actual = count_labelled_short_cycles(graph)
+        assert (actual.ss, actual.dd) == (expected.ss, expected.dd)
+        assert (actual.sss, actual.ssd, actual.ddd) == (
+            expected.sss,
+            expected.ssd,
+            expected.ddd,
+        )
+
+
+def _brute_force_labelled(graph: DependencyGraph) -> CycleCounts:
+    counts = CycleCounts()
+    verts = sorted(graph.vertices)
+    for i, u in enumerate(verts):
+        for v in verts[i + 1 :]:
+            for a in graph.labels(u, v):
+                for b in graph.labels(v, u):
+                    if a == b:
+                        counts.ss += 1
+                    else:
+                        counts.dd += 1
+    for u in verts:
+        for v in verts:
+            for w in verts:
+                if len({u, v, w}) != 3 or not (u < v and u < w):
+                    continue
+                for a in graph.labels(u, v):
+                    for b in graph.labels(v, w):
+                        for c in graph.labels(w, u):
+                            distinct = len({a, b, c})
+                            if distinct == 1:
+                                counts.sss += 1
+                            elif distinct == 2:
+                                counts.ssd += 1
+                            else:
+                                counts.ddd += 1
+    return counts
+
+
+class TestGnpTheory:
+    def test_expected_formula(self):
+        # n=5, k=2: 5*4/2 * p^2
+        assert expected_k_cycles(5, 0.5, 2) == pytest.approx(10 * 0.25)
+        assert expected_k_cycles(5, 0.1, 3) == pytest.approx(60 / 3 * 1e-3)
+        assert expected_k_cycles(3, 0.5, 4) == 0.0
+
+    def test_empirical_mean_close(self):
+        n, p, trials = 12, 0.15, 200
+        total2 = total3 = 0
+        for seed in range(trials):
+            graph = directed_gnp(n, p, random.Random(seed))
+            by_len = count_simple_cycles_by_length(graph, max_length=3)
+            total2 += by_len[2]
+            total3 += by_len[3]
+        mean2 = total2 / trials
+        mean3 = total3 / trials
+        assert mean2 == pytest.approx(expected_k_cycles(n, p, 2), rel=0.25)
+        assert mean3 == pytest.approx(expected_k_cycles(n, p, 3), rel=0.25)

@@ -1,0 +1,120 @@
+"""Tests for asynchronous WCC and graph coloring."""
+
+import random
+
+import pytest
+
+from repro.graph.random_graphs import UndirectedGraph, preferential_attachment_graph
+from repro.graphalgo.coloring import AsyncColoring
+from repro.graphalgo.wcc import AsyncWcc, ground_truth_components
+from repro.sim import SimConfig
+
+
+def two_component_graph():
+    graph = UndirectedGraph(7)
+    # component {0,1,2,3} and component {4,5,6}
+    for u, v in [(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6)]:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestGroundTruth:
+    def test_components(self):
+        truth = ground_truth_components(two_component_graph())
+        assert truth == [0, 0, 0, 0, 4, 4, 4]
+
+    def test_isolated_vertices(self):
+        graph = UndirectedGraph(3)
+        assert ground_truth_components(graph) == [0, 1, 2]
+
+    def test_matches_dfs_on_random_graph(self):
+        rng = random.Random(5)
+        graph = UndirectedGraph(60)
+        for _ in range(70):
+            graph.add_edge(rng.randrange(60), rng.randrange(60))
+        truth = ground_truth_components(graph)
+        # brute force: repeated BFS
+        seen = {}
+        for start in range(60):
+            if start in seen:
+                continue
+            stack, comp = [start], []
+            while stack:
+                v = stack.pop()
+                if v in seen:
+                    continue
+                seen[v] = True
+                comp.append(v)
+                stack.extend(graph.neighbors(v))
+            smallest = min(comp)
+            for v in comp:
+                assert truth[v] == smallest
+
+
+class TestAsyncWcc:
+    def test_serial_converges_to_truth(self):
+        wcc = AsyncWcc(two_component_graph(), SimConfig(num_workers=1, seed=0))
+        result = wcc.run(max_rounds=10)
+        assert result.converged
+        assert wcc.is_correct()
+
+    def test_concurrent_still_converges(self):
+        graph = preferential_attachment_graph(150, 4, rng=random.Random(2))
+        wcc = AsyncWcc(graph, SimConfig(num_workers=8, seed=1,
+                                        write_latency=100, compute_jitter=20))
+        result = wcc.run(max_rounds=30)
+        assert result.converged  # min-propagation is self-stabilising
+
+    def test_chaos_costs_more_buus(self):
+        graph = preferential_attachment_graph(150, 4, rng=random.Random(3))
+
+        def buus(latency):
+            wcc = AsyncWcc(graph, SimConfig(num_workers=8, seed=2,
+                                            write_latency=latency,
+                                            compute_jitter=10))
+            return wcc.run(max_rounds=40).buus_to_converge
+
+        calm = buus(0)
+        wild = buus(2000)
+        assert calm is not None and wild is not None
+        assert wild >= calm
+
+    def test_anomalies_recorded(self):
+        graph = preferential_attachment_graph(100, 4, rng=random.Random(4))
+        wcc = AsyncWcc(graph, SimConfig(num_workers=8, seed=0,
+                                        write_latency=150))
+        result = wcc.run(max_rounds=20)
+        assert result.estimated_2 + result.estimated_3 > 0
+
+
+class TestAsyncColoring:
+    def test_serial_produces_proper_coloring(self):
+        coloring = AsyncColoring(two_component_graph(),
+                                 SimConfig(num_workers=1, seed=0))
+        result = coloring.run(max_rounds=10)
+        assert result.converged
+        assert coloring.is_correct()
+
+    def test_colors_at_most_degree_plus_one(self):
+        graph = preferential_attachment_graph(100, 4, rng=random.Random(5))
+        coloring = AsyncColoring(graph, SimConfig(num_workers=1, seed=0))
+        result = coloring.run(max_rounds=20)
+        assert result.converged
+        max_degree = max(graph.degree(v) for v in range(graph.num_vertices))
+        assert result.colors_used <= max_degree + 1
+
+    def test_concurrent_convergence(self):
+        graph = preferential_attachment_graph(100, 4, rng=random.Random(6))
+        coloring = AsyncColoring(graph, SimConfig(num_workers=8, seed=1,
+                                                  write_latency=50))
+        result = coloring.run(max_rounds=40)
+        assert result.converged
+        assert coloring.is_correct()
+
+    def test_proper_coloring_check(self):
+        graph = two_component_graph()
+        coloring = AsyncColoring(graph, SimConfig(num_workers=1, seed=0))
+        # force an improper colouring: all same colour
+        for v in range(graph.num_vertices):
+            coloring.simulator.store[f"col{v}"] = 0
+        assert not coloring.is_correct()

@@ -1,0 +1,99 @@
+"""Tests for the additional §2.2 workloads: PageRank and matching."""
+
+import random
+
+import pytest
+
+from repro.graph.random_graphs import (
+    UndirectedGraph,
+    preferential_attachment_graph,
+)
+from repro.graphalgo.matching import AsyncMatching
+from repro.graphalgo.pagerank import AsyncPageRank, reference_pagerank
+from repro.sim import SimConfig
+
+
+def small_graph(seed=0, n=60, degree=4):
+    return preferential_attachment_graph(n, degree, rng=random.Random(seed))
+
+
+class TestReferencePageRank:
+    def test_ranks_sum_to_one(self):
+        graph = small_graph()
+        ranks = reference_pagerank(graph)
+        assert sum(ranks) == pytest.approx(1.0, abs=0.01)
+
+    def test_hub_outranks_leaf(self):
+        graph = small_graph()
+        ranks = reference_pagerank(graph)
+        degrees = [graph.degree(v) for v in range(graph.num_vertices)]
+        hub = max(range(graph.num_vertices), key=lambda v: degrees[v])
+        leaf = min(range(graph.num_vertices), key=lambda v: degrees[v])
+        assert ranks[hub] > ranks[leaf]
+
+    def test_isolated_vertices_share_base_rank(self):
+        graph = UndirectedGraph(4)
+        ranks = reference_pagerank(graph)
+        assert all(r == pytest.approx((1 - 0.85) / 4) for r in ranks)
+
+
+class TestAsyncPageRank:
+    def test_serial_converges_to_reference(self):
+        pr = AsyncPageRank(small_graph(1), SimConfig(num_workers=1, seed=0))
+        result = pr.run(max_rounds=60, tolerance=1e-3)
+        assert result.converged
+        assert result.final_error <= 1e-3
+
+    def test_concurrent_still_converges(self):
+        pr = AsyncPageRank(
+            small_graph(2),
+            SimConfig(num_workers=8, seed=1, write_latency=100,
+                      compute_jitter=10),
+        )
+        result = pr.run(max_rounds=80, tolerance=2e-3)
+        assert result.converged
+
+    def test_chaos_recorded_as_anomalies(self):
+        pr = AsyncPageRank(
+            small_graph(3),
+            SimConfig(num_workers=8, seed=2, write_latency=200),
+        )
+        result = pr.run(max_rounds=20, tolerance=1e-6)
+        assert result.estimated_2 + result.estimated_3 > 0
+
+
+class TestAsyncMatching:
+    def test_serial_reaches_maximal_matching(self):
+        matching = AsyncMatching(small_graph(4),
+                                 SimConfig(num_workers=1, seed=0))
+        result = matching.run(max_rounds=10)
+        assert result.converged
+        assert matching.is_consistent()
+        assert matching.is_maximal()
+        assert result.matched_pairs >= 1
+
+    def test_concurrent_converges_with_repair(self):
+        matching = AsyncMatching(
+            small_graph(5),
+            SimConfig(num_workers=8, seed=1, write_latency=80,
+                      compute_jitter=10),
+        )
+        result = matching.run(max_rounds=60)
+        assert result.converged
+        assert matching.is_consistent()
+
+    def test_consistency_check_catches_dangling(self):
+        graph = UndirectedGraph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        matching = AsyncMatching(graph, SimConfig(num_workers=1, seed=0))
+        matching.simulator.store["m0"] = 1
+        matching.simulator.store["m1"] = 2  # 1 points at 2, not back at 0
+        matching.simulator.store["m2"] = 1
+        assert not matching.is_consistent()
+
+    def test_maximality_check(self):
+        graph = UndirectedGraph(2)
+        graph.add_edge(0, 1)
+        matching = AsyncMatching(graph, SimConfig(num_workers=1, seed=0))
+        assert not matching.is_maximal()  # nothing matched yet

@@ -1,0 +1,67 @@
+"""Tests for the instrumented KV store."""
+
+from repro.core.config import RushMonConfig
+from repro.core.monitor import RushMon
+from repro.core.types import OpType
+from repro.storage.kvstore import KVStore
+
+
+class TestKVStore:
+    def test_read_write_roundtrip(self):
+        store = KVStore()
+        store.write(1, "x", 42)
+        assert store.read(2, "x") == 42
+
+    def test_missing_key_reads_none(self):
+        store = KVStore()
+        assert store.read(1, "ghost") is None
+
+    def test_initial_contents(self):
+        store = KVStore({"a": 1})
+        assert store.read(1, "a") == 1
+
+    def test_sequence_increments_per_operation(self):
+        store = KVStore()
+        store.write(1, "x", 0)
+        store.read(1, "x")
+        assert store.seq == 2
+
+    def test_listeners_see_visibility_order(self):
+        store = KVStore()
+        seen = []
+        store.subscribe(seen.append)
+        store.write(1, "x", 1)
+        store.read(2, "x")
+        assert [op.op for op in seen] == [OpType.WRITE, OpType.READ]
+        assert [op.seq for op in seen] == [1, 2]
+
+    def test_peek_does_not_notify(self):
+        store = KVStore({"x": 5})
+        seen = []
+        store.subscribe(seen.append)
+        assert store.peek("x") == 5
+        assert seen == []
+
+    def test_snapshot_is_a_copy(self):
+        store = KVStore({"x": 1})
+        snap = store.snapshot()
+        store.write(1, "x", 2)
+        assert snap["x"] == 1
+
+    def test_subscribe_monitor(self):
+        store = KVStore()
+        monitor = RushMon(RushMonConfig(sampling_rate=1, mob=False))
+        store.subscribe_monitor(monitor)
+        # the classic lost update, issued directly against the store
+        store.write(0, "x", 1)
+        store.read(1, "x")
+        store.read(2, "x")
+        store.write(1, "x", 2)
+        store.write(2, "x", 3)
+        report = monitor.report()
+        assert report.estimated_2 == 1.0
+        assert report.patterns == {"lost_update": 1}
+
+    def test_keys(self):
+        store = KVStore({"a": 1, "b": 2})
+        assert sorted(store.keys()) == ["a", "b"]

@@ -1,0 +1,96 @@
+"""Property tests for memory-optimized bookkeeping (Algorithm 2)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collector import BaselineCollector, DataCentricCollector
+from repro.core.detector import CycleDetector
+from repro.core.types import Operation, OpType
+
+
+def random_history(seed, n_ops, n_buus, n_keys):
+    rng = random.Random(seed)
+    ops = []
+    for seq in range(1, n_ops + 1):
+        kind = OpType.READ if rng.random() < 0.5 else OpType.WRITE
+        ops.append(Operation(kind, rng.randrange(n_buus),
+                             rng.randrange(n_keys), seq))
+    return ops
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_huge_slot_array_equals_full_bookkeeping(seed):
+    """With enough slots to hold every reader, MOB degenerates to the
+    full readIDs set (modulo edge multiplicity, which dedup hides), and
+    the ww-discard calibration never fires."""
+    history = random_history(seed, n_ops=200, n_buus=15, n_keys=5)
+    full = DataCentricCollector(sampling_rate=1, mob=False, seed=seed)
+    mob = DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
+                               mob_slots=1000)
+    full_edges = {(e.src, e.dst, e.kind, e.label)
+                  for e in full.handle_all(history)}
+    mob_edges = {(e.src, e.dst, e.kind, e.label)
+                 for e in mob.handle_all(history)}
+    assert mob_edges == full_edges
+    assert mob.discarded_reads == 0
+
+
+@given(st.integers(0, 10**6), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_mob_edges_are_subset_of_full(seed, slots):
+    """MOB only ever drops information, never invents edges."""
+    history = random_history(seed, n_ops=250, n_buus=15, n_keys=6)
+    full = DataCentricCollector(sampling_rate=1, mob=False, seed=seed)
+    mob = DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
+                               mob_slots=slots)
+    full_edges = {(e.src, e.dst, e.kind, e.label)
+                  for e in full.handle_all(history)}
+    mob_edges = {(e.src, e.dst, e.kind, e.label)
+                 for e in mob.handle_all(history)}
+    assert mob_edges <= full_edges
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_mob_cycle_counts_bounded_by_full(seed):
+    """Fewer edges can only mean fewer or equal detected cycles."""
+    history = random_history(seed, n_ops=250, n_buus=12, n_keys=5)
+    full_det = CycleDetector()
+    full_det.add_edges(
+        DataCentricCollector(sampling_rate=1, mob=False,
+                             seed=seed).handle_all(history)
+    )
+    mob_det = CycleDetector()
+    mob_det.add_edges(
+        DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
+                             mob_slots=2).handle_all(history)
+    )
+    assert mob_det.counts.two_cycles <= full_det.counts.two_cycles
+    assert mob_det.counts.three_cycles <= full_det.counts.three_cycles
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_rwrw_interleave_lossless_for_any_seed(seed):
+    """The §5.2 design point: strict r/w interleavings per item lose
+    nothing even with a single slot."""
+    rng = random.Random(seed)
+    ops = []
+    seq = 0
+    for buu in range(30):
+        key = rng.randrange(3)
+        seq += 1
+        ops.append(Operation(OpType.READ, buu, key, seq))
+        seq += 1
+        ops.append(Operation(OpType.WRITE, buu, key, seq))
+    full = BaselineCollector()
+    mob = DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
+                               mob_slots=1)
+    full_edges = {(e.src, e.dst, e.kind, e.label)
+                  for e in full.handle_all(ops)}
+    mob_edges = {(e.src, e.dst, e.kind, e.label)
+                 for e in mob.handle_all(ops)}
+    assert mob_edges == full_edges

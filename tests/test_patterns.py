@@ -1,0 +1,166 @@
+"""Tests for ANSI anomaly-pattern classification of 2-cycles (§3)."""
+
+import pytest
+
+from repro.core.collector import BaselineCollector
+from repro.core.detector import CycleDetector
+from repro.core.monitor import RushMon
+from repro.core.config import RushMonConfig
+from repro.core.patterns import (
+    AnomalyPattern,
+    PatternCounts,
+    classify_two_cycle,
+)
+from repro.core.types import EdgeType, Operation, OpType
+
+
+def ops_from(spec):
+    out = []
+    for seq, (kind, buu, key) in enumerate(spec, start=1):
+        op_type = OpType.READ if kind == "r" else OpType.WRITE
+        out.append(Operation(op_type, buu, key, seq))
+    return out
+
+
+def detect(spec):
+    """Run a history through Algorithm 1 + the detector; return patterns."""
+    detector = CycleDetector()
+    detector.add_edges(BaselineCollector().handle_all(ops_from(spec)))
+    return detector.patterns
+
+
+class TestClassifier:
+    def test_lost_update(self):
+        assert classify_two_cycle(
+            EdgeType.RW, "x", EdgeType.WW, "x"
+        ) is AnomalyPattern.LOST_UPDATE
+
+    def test_rw_ww_cross_item_is_other(self):
+        assert classify_two_cycle(
+            EdgeType.RW, "x", EdgeType.WW, "y"
+        ) is AnomalyPattern.OTHER
+
+    def test_unrepeatable_read(self):
+        assert classify_two_cycle(
+            EdgeType.RW, "x", EdgeType.WR, "x"
+        ) is AnomalyPattern.UNREPEATABLE_READ
+
+    def test_read_skew(self):
+        assert classify_two_cycle(
+            EdgeType.RW, "x", EdgeType.WR, "y"
+        ) is AnomalyPattern.READ_SKEW
+
+    def test_write_skew(self):
+        assert classify_two_cycle(
+            EdgeType.RW, "x", EdgeType.RW, "y"
+        ) is AnomalyPattern.WRITE_SKEW
+
+    def test_same_item_rw_rw_is_other(self):
+        assert classify_two_cycle(
+            EdgeType.RW, "x", EdgeType.RW, "x"
+        ) is AnomalyPattern.OTHER
+
+    def test_dirty_write_cycle(self):
+        assert classify_two_cycle(
+            EdgeType.WW, "x", EdgeType.WW, "y"
+        ) is AnomalyPattern.DIRTY_WRITE_CYCLE
+        assert classify_two_cycle(
+            EdgeType.WW, "x", EdgeType.WR, "x"
+        ) is AnomalyPattern.DIRTY_WRITE_CYCLE
+
+    def test_read_cycle(self):
+        assert classify_two_cycle(
+            EdgeType.WR, "x", EdgeType.WR, "y"
+        ) is AnomalyPattern.READ_CYCLE
+
+    def test_symmetry(self):
+        """Classification does not depend on edge order."""
+        for a, b in [(EdgeType.RW, EdgeType.WW), (EdgeType.RW, EdgeType.WR),
+                     (EdgeType.WW, EdgeType.WR)]:
+            assert classify_two_cycle(a, "x", b, "x") is classify_two_cycle(
+                b, "x", a, "x"
+            )
+
+
+class TestEndToEndHistories:
+    """The canonical ANSI histories, through Algorithm 1 + detector."""
+
+    def test_lost_update_history(self):
+        patterns = detect(
+            [("w", 0, "x"), ("r", 1, "x"), ("r", 2, "x"),
+             ("w", 1, "x"), ("w", 2, "x")]
+        )
+        assert patterns.get(AnomalyPattern.LOST_UPDATE) == 1
+        assert patterns.total == 1
+
+    def test_unrepeatable_read_history(self):
+        # r1(x) w2(x) r1(x): T1's first read is overwritten, second read
+        # sees T2's write.
+        patterns = detect(
+            [("w", 0, "x"), ("r", 1, "x"), ("w", 2, "x"), ("r", 1, "x")]
+        )
+        assert patterns.get(AnomalyPattern.UNREPEATABLE_READ) == 1
+
+    def test_read_skew_history(self):
+        # r1(x); T2 writes x and y; r1(y): T1 saw old x and new y.
+        patterns = detect(
+            [("w", 0, "x"), ("w", 0, "y"),
+             ("r", 1, "x"), ("w", 2, "x"), ("w", 2, "y"), ("r", 1, "y")]
+        )
+        assert patterns.get(AnomalyPattern.READ_SKEW) == 1
+
+    def test_write_skew_history(self):
+        # r1(x) r2(y) w1(y) w2(x): the constraint-violating crossover.
+        patterns = detect(
+            [("w", 0, "x"), ("w", 0, "y"),
+             ("r", 1, "x"), ("r", 2, "y"), ("w", 1, "y"), ("w", 2, "x")]
+        )
+        assert patterns.get(AnomalyPattern.WRITE_SKEW) == 1
+
+    def test_serial_history_no_patterns(self):
+        patterns = detect(
+            [("r", 1, "x"), ("w", 1, "x"), ("r", 2, "x"), ("w", 2, "x")]
+        )
+        assert patterns.total == 0
+
+
+class TestPatternCounts:
+    def test_record_and_total(self):
+        counts = PatternCounts()
+        counts.record(AnomalyPattern.LOST_UPDATE)
+        counts.record(AnomalyPattern.LOST_UPDATE)
+        counts.record(AnomalyPattern.WRITE_SKEW)
+        assert counts.get(AnomalyPattern.LOST_UPDATE) == 2
+        assert counts.total == 3
+        assert counts.as_dict() == {"lost_update": 2, "write_skew": 1}
+
+    def test_copy_is_independent(self):
+        counts = PatternCounts()
+        counts.record(AnomalyPattern.READ_SKEW)
+        clone = counts.copy()
+        counts.record(AnomalyPattern.READ_SKEW)
+        assert clone.get(AnomalyPattern.READ_SKEW) == 1
+
+
+class TestMonitorWindows:
+    def test_report_carries_window_patterns(self):
+        mon = RushMon(RushMonConfig(sampling_rate=1, mob=False))
+        mon.on_operations(ops_from(
+            [("w", 0, "x"), ("r", 1, "x"), ("r", 2, "x"),
+             ("w", 1, "x"), ("w", 2, "x")]
+        ))
+        first = mon.report()
+        assert first.patterns == {"lost_update": 1}
+        second = mon.report()
+        assert second.patterns == {}
+
+    def test_pattern_totals_match_two_cycles(self):
+        """Every counted 2-cycle is classified exactly once."""
+        import random
+
+        rng = random.Random(3)
+        spec = [("r" if rng.random() < 0.5 else "w",
+                 rng.randrange(20), rng.randrange(6)) for _ in range(400)]
+        mon = RushMon(RushMonConfig(sampling_rate=1, mob=False))
+        mon.on_operations(ops_from(spec))
+        assert mon.detector.patterns.total == mon.detector.counts.two_cycles

@@ -1,0 +1,244 @@
+"""Safety and effectiveness tests for vertex pruning (§5.3).
+
+The key invariant: pruning may shrink the live graph but must never
+change the stream of newly detected cycles.  We verify it on random
+simulated schedules by running pruned and unpruned detectors on the same
+edge stream and comparing total counts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collector import BaselineCollector
+from repro.core.detector import CycleDetector, LiveGraph
+from repro.core.pruning import (
+    CombinedPruning,
+    DistancePruning,
+    EctPruning,
+    NoPruning,
+    make_pruner,
+)
+from repro.core.types import Operation, OpType
+from repro.storage.history import BuuProgram, interleaved_history, lifecycle_bounds
+
+
+def _simulated_run(detector, ops, bounds):
+    """Feed a history into a detector with begin/commit lifecycle events."""
+    collector = BaselineCollector()
+    started = set()
+    committed = set()
+    ops_by_seq = sorted(ops, key=lambda o: o.seq)
+    for op in ops_by_seq:
+        if op.buu not in started:
+            started.add(op.buu)
+            detector.begin_buu(op.buu, bounds[op.buu][0])
+        for edge in collector.handle(op):
+            detector.add_edge(edge)
+        if op.seq == bounds[op.buu][1]:
+            committed.add(op.buu)
+            detector.commit_buu(op.buu, op.seq)
+    return detector
+
+
+def _random_workload(seed, num_buus=40, keys=6, steps=4):
+    rng = random.Random(seed)
+    programs = []
+    for buu in range(num_buus):
+        prog = BuuProgram(buu)
+        for _ in range(steps):
+            key = rng.randrange(keys)
+            if rng.random() < 0.5:
+                prog.read(key)
+            else:
+                prog.write(key)
+        programs.append(prog)
+    return interleaved_history(programs, rng)
+
+
+def _windowed_workload(seed, num_buus, keys, steps, window):
+    """Interleave programs ``window`` at a time — bounded concurrency,
+    like a real C-worker system."""
+    rng = random.Random(seed)
+    ops = []
+    offset = 0
+    for base in range(0, num_buus, window):
+        programs = []
+        for buu in range(base, min(base + window, num_buus)):
+            prog = BuuProgram(buu)
+            for _ in range(steps):
+                key = rng.randrange(keys)
+                if rng.random() < 0.5:
+                    prog.read(key)
+                else:
+                    prog.write(key)
+            programs.append(prog)
+        batch = interleaved_history(programs, rng)
+        for op in batch:
+            ops.append(
+                Operation(op.op, op.buu, op.key, op.seq + offset)
+            )
+        offset = ops[-1].seq
+    return ops
+
+
+PRUNER_NAMES = ["ect", "distance", "both"]
+
+
+class TestPruningSafety:
+    @pytest.mark.parametrize("name", PRUNER_NAMES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_counts_unchanged(self, name, seed):
+        ops = _random_workload(seed)
+        bounds = lifecycle_bounds(ops)
+        unpruned = _simulated_run(CycleDetector(pruner=NoPruning()), ops, bounds)
+        pruned = _simulated_run(
+            CycleDetector(pruner=make_pruner(name), prune_interval=10), ops, bounds
+        )
+        assert pruned.counts.two_cycles == unpruned.counts.two_cycles
+        assert pruned.counts.three_cycles == unpruned.counts.three_cycles
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_combined_pruning_safe(self, seed):
+        ops = _random_workload(seed, num_buus=30, keys=5, steps=3)
+        bounds = lifecycle_bounds(ops)
+        unpruned = _simulated_run(CycleDetector(pruner=NoPruning()), ops, bounds)
+        pruned = _simulated_run(
+            CycleDetector(pruner=CombinedPruning(), prune_interval=5), ops, bounds
+        )
+        assert (pruned.counts.ss, pruned.counts.dd) == (
+            unpruned.counts.ss,
+            unpruned.counts.dd,
+        )
+        assert (pruned.counts.sss, pruned.counts.ssd, pruned.counts.ddd) == (
+            unpruned.counts.sss,
+            unpruned.counts.ssd,
+            unpruned.counts.ddd,
+        )
+
+    @pytest.mark.parametrize("name", PRUNER_NAMES)
+    def test_pruning_shrinks_graph(self, name):
+        """With a long run at bounded concurrency, pruning keeps the live
+        graph much smaller (400-way concurrency would pin t_active)."""
+        ops = _windowed_workload(seed=1, num_buus=400, keys=8, steps=4, window=8)
+        bounds = lifecycle_bounds(ops)
+        unpruned = _simulated_run(CycleDetector(pruner=NoPruning()), ops, bounds)
+        pruned = _simulated_run(
+            CycleDetector(pruner=make_pruner(name), prune_interval=20), ops, bounds
+        )
+        assert pruned.num_vertices < unpruned.num_vertices
+        assert pruned.num_edges < unpruned.num_edges
+
+
+class TestEctPruning:
+    def test_old_committed_vertex_removed(self):
+        graph = LiveGraph()
+        # Vertex 1 committed long ago, only outgoing edges; 9 is alive.
+        graph.begin(1, 0)
+        graph.commit(1, 5)
+        graph.begin(2, 6)
+        graph.commit(2, 8)
+        graph.begin(9, 10)
+        graph.add_edge(1, 2, "x")
+        graph.add_edge(2, 9, "x")
+        removed = EctPruning().prune(graph, now=11)
+        # t_active = 10; ect(1)=5 < 10 pruned; ect(2)=max(8, 5)=8 < 10 pruned.
+        assert removed == 2
+        assert graph.present == {9}
+
+    def test_alive_ancestor_blocks_pruning(self):
+        graph = LiveGraph()
+        graph.begin(5, 0)  # alive forever
+        graph.begin(1, 1)
+        graph.commit(1, 2)
+        graph.add_edge(5, 1, "x")  # alive -> committed: ect(1) = inf
+        removed = EctPruning().prune(graph, now=10)
+        assert removed == 0
+
+    def test_scc_shares_ect(self):
+        """A cycle between old vertices has one ect for the whole SCC."""
+        graph = LiveGraph()
+        graph.begin(1, 0)
+        graph.commit(1, 3)
+        graph.begin(2, 1)
+        graph.commit(2, 4)
+        graph.add_edge(1, 2, "x")
+        graph.add_edge(2, 1, "y")
+        graph.begin(9, 100)
+        removed = EctPruning().prune(graph, now=101)
+        assert removed == 2
+
+    def test_no_alive_no_pruning(self):
+        graph = LiveGraph()
+        graph.begin(1, 0)
+        graph.commit(1, 1)
+        graph.add_edge(1, 2, "x")
+        assert EctPruning().prune(graph, now=50) == 0
+
+    def test_unknown_lifecycle_kept(self):
+        graph = LiveGraph()
+        graph.add_edge(1, 2, "x")  # no begin/commit ever reported
+        graph.begin(9, 10)
+        assert EctPruning().prune(graph, now=11) == 0
+        assert graph.present == {1, 2}
+
+
+class TestDistancePruning:
+    def test_far_vertices_removed(self):
+        graph = LiveGraph()
+        # chain: alive -> a -> b -> c; with hops=2 only a, b are kept.
+        for v, (st_t, ct) in {9: (10, None), 1: (0, 1), 2: (0, 2), 3: (0, 3)}.items():
+            graph.begin(v, st_t)
+            if ct is not None:
+                graph.commit(v, ct)
+        graph.add_edge(9, 1, "x")
+        graph.add_edge(1, 2, "x")
+        graph.add_edge(2, 3, "x")
+        removed = DistancePruning(max_cycle_length=3).prune(graph, now=11)
+        assert removed == 1
+        assert graph.present == {9, 1, 2}
+
+    def test_unreachable_committed_removed(self):
+        graph = LiveGraph()
+        graph.begin(1, 0)
+        graph.commit(1, 1)
+        graph.begin(2, 0)
+        graph.commit(2, 1)
+        graph.add_edge(1, 2, "x")
+        graph.begin(9, 5)  # alive, no edges to 1 or 2
+        graph.add_edge(9, 9, "x")  # rejected self-edge; 9 not in present
+        removed = DistancePruning().prune(graph, now=6)
+        assert removed == 2
+
+    def test_hops_respects_max_cycle_length(self):
+        graph = LiveGraph()
+        graph.begin(9, 10)
+        for v in (1, 2, 3):
+            graph.begin(v, 0)
+            graph.commit(v, v)
+        graph.add_edge(9, 1, "x")
+        graph.add_edge(1, 2, "x")
+        graph.add_edge(2, 3, "x")
+        # With 2-cycles only (k=2, hops=1) both 2 and 3 are out of range.
+        removed = DistancePruning(max_cycle_length=2).prune(graph, now=11)
+        assert removed == 2
+        assert graph.present == {9, 1}
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            DistancePruning(max_cycle_length=1)
+
+
+class TestMakePruner:
+    def test_factory(self):
+        assert isinstance(make_pruner("none"), NoPruning)
+        assert isinstance(make_pruner("ect"), EctPruning)
+        assert isinstance(make_pruner("distance"), DistancePruning)
+        assert isinstance(make_pruner("both"), CombinedPruning)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_pruner("everything")

@@ -1,0 +1,91 @@
+"""Tests for checkpoint/rollback recovery (§8 future work)."""
+
+import random
+
+import pytest
+
+from repro.ml.async_sgd import AsyncTrainer
+from repro.ml.recovery import RecoveringTrainer
+from repro.sim import SimConfig
+from repro.workloads.datasets import synthetic_click_dataset
+
+
+def make_trainer(lr, latency=2000, staleness=None, seed=5, workers=16):
+    dataset = synthetic_click_dataset(300, 30, 5, rng=random.Random(5))
+    return AsyncTrainer(
+        dataset, "asgd",
+        SimConfig(num_workers=workers, seed=seed, write_latency=latency,
+                  staleness_bound=staleness, compute_jitter=10),
+        learning_rate=lr, batch_per_round=150, seed=seed,
+    )
+
+
+class TestValidation:
+    def test_blowup_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            RecoveringTrainer(make_trainer(0.1), blowup_factor=1.0)
+
+    def test_initial_bound_from_trainer(self):
+        trainer = make_trainer(0.1, staleness=3)
+        recovering = RecoveringTrainer(trainer)
+        assert recovering.bound == 3
+
+
+class TestRecovery:
+    def test_healthy_run_never_rolls_back(self):
+        trainer = make_trainer(lr=0.1, latency=50, staleness=1)
+        recovering = RecoveringTrainer(trainer, blowup_factor=3.0)
+        result = recovering.train(rounds=6)
+        assert result.rollbacks == 0
+        assert result.final_loss <= trainer.start_loss
+
+    def test_divergent_run_triggers_rollback(self):
+        trainer = make_trainer(lr=6.0)  # hot enough to blow up async
+        recovering = RecoveringTrainer(trainer, blowup_factor=1.3)
+        result = recovering.train(rounds=10)
+        assert result.rollbacks >= 1
+        assert all(e.reason == "loss_blowup" for e in result.events)
+
+    def test_rollback_restores_checkpoint_loss(self):
+        trainer = make_trainer(lr=6.0)
+        recovering = RecoveringTrainer(trainer, blowup_factor=1.3)
+        result = recovering.train(rounds=10)
+        for event in result.events:
+            assert event.loss_restored <= event.loss_before
+
+    def test_rollback_tightens_staleness(self):
+        trainer = make_trainer(lr=6.0)
+        recovering = RecoveringTrainer(trainer, blowup_factor=1.3)
+        before = recovering.bound
+        result = recovering.train(rounds=10)
+        assert result.rollbacks >= 1
+        # at least one rung tighter than the fully-async start
+        assert recovering.bound != before or recovering.bound == 1
+
+    def test_recovery_beats_unprotected_divergence(self):
+        """The §8 pitch: with rollback the run ends near its best state
+        instead of wherever the blow-up left it."""
+        unprotected = make_trainer(lr=6.0)
+        raw = unprotected.train(rounds=10)
+
+        protected_trainer = make_trainer(lr=6.0)
+        recovering = RecoveringTrainer(protected_trainer, blowup_factor=1.3)
+        protected = recovering.train(rounds=10)
+
+        assert protected.final_loss < raw.final_loss
+        assert protected.final_loss <= protected.best_loss * 1.3 + 1e-9
+
+    def test_anomaly_spike_trigger(self):
+        """The anomaly trigger fires without waiting for the loss."""
+        trainer = make_trainer(lr=0.05)  # benign lr: loss never blows up
+        recovering = RecoveringTrainer(trainer, blowup_factor=10.0,
+                                       anomaly_threshold=1e-6)
+        result = recovering.train(rounds=4)
+        assert result.rollbacks >= 1
+        assert any(e.reason == "anomaly_spike" for e in result.events)
+
+    def test_losses_trajectory_recorded(self):
+        trainer = make_trainer(lr=0.1, latency=50, staleness=1)
+        recovering = RecoveringTrainer(trainer)
+        result = recovering.train(rounds=5)
+        assert len(result.losses) == 5

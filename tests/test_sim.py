@@ -1,0 +1,248 @@
+"""Tests for the discrete-event concurrency simulator."""
+
+import pytest
+
+from repro.core.monitor import OfflineAnomalyMonitor, RushMon
+from repro.core.config import RushMonConfig
+from repro.core.types import OpType
+from repro.sim import Buu, SimConfig, Simulator, read_modify_write
+
+
+class _Recorder:
+    """Listener capturing the full event stream."""
+
+    def __init__(self):
+        self.ops = []
+        self.begins = []
+        self.commits = []
+
+    def on_operation(self, op):
+        self.ops.append(op)
+
+    def begin_buu(self, buu, t):
+        self.begins.append((buu, t))
+
+    def commit_buu(self, buu, t):
+        self.commits.append((buu, t))
+
+
+def increment_buu(keys):
+    return read_modify_write(keys, lambda v: (v or 0) + 1)
+
+
+class TestSimulatorBasics:
+    def test_single_worker_is_serial(self):
+        rec = _Recorder()
+        sim = Simulator(SimConfig(num_workers=1, seed=0), listeners=[rec])
+        done = sim.run([increment_buu(["x"]) for _ in range(5)])
+        assert done == 5
+        assert sim.store["x"] == 5
+        # Serial execution: strictly alternating r/w per BUU, no overlap.
+        kinds = [op.op for op in rec.ops]
+        assert kinds == [OpType.READ, OpType.WRITE] * 5
+
+    def test_all_buus_complete(self):
+        sim = Simulator(SimConfig(num_workers=8, seed=1))
+        done = sim.run([increment_buu(["a", "b"]) for _ in range(50)])
+        assert done == 50
+        assert sim.buus_completed == 50
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            rec = _Recorder()
+            sim = Simulator(SimConfig(num_workers=4, seed=seed), listeners=[rec])
+            sim.run([increment_buu(["x", "y"]) for _ in range(30)])
+            return [(op.op, op.buu, op.key, op.seq) for op in rec.ops]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_lifecycle_events(self):
+        rec = _Recorder()
+        sim = Simulator(SimConfig(num_workers=2, seed=0), listeners=[rec])
+        sim.run([increment_buu(["x"]) for _ in range(6)])
+        assert len(rec.begins) == 6
+        assert len(rec.commits) == 6
+        begin_times = dict(rec.begins)
+        commit_times = dict(rec.commits)
+        for buu in begin_times:
+            assert begin_times[buu] <= commit_times[buu]
+
+    def test_resumable(self):
+        sim = Simulator(SimConfig(num_workers=1, seed=0))
+        sim.run([increment_buu(["x"]) for _ in range(3)])
+        t_mid = sim.now
+        sim.run([increment_buu(["x"]) for _ in range(3)])
+        assert sim.store["x"] == 6
+        assert sim.now > t_mid
+
+    def test_lost_updates_under_concurrency(self):
+        """With many workers incrementing one counter without isolation,
+        some increments are lost — the motivating phenomenon."""
+        sim = Simulator(SimConfig(num_workers=16, seed=3))
+        sim.run([increment_buu(["x"]) for _ in range(400)])
+        assert sim.store["x"] < 400
+
+    def test_compute_sees_read_values(self):
+        captured = {}
+
+        def compute(values):
+            captured.update(values)
+            return {"out": values["in"] * 2}
+
+        sim = Simulator(SimConfig(num_workers=1, seed=0), store={"in": 21})
+        sim.run([Buu(reads=["in"], compute=compute)])
+        assert captured == {"in": 21}
+        assert sim.store["out"] == 42
+
+    def test_empty_buu(self):
+        sim = Simulator(SimConfig(num_workers=2, seed=0))
+        assert sim.run([Buu(reads=[], compute=lambda v: {})]) == 1
+
+
+class TestWriteLatency:
+    def test_zero_latency_immediate_visibility(self):
+        rec = _Recorder()
+        sim = Simulator(SimConfig(num_workers=1, seed=0, write_latency=0),
+                        listeners=[rec])
+        sim.run([increment_buu(["x"])])
+        read, write = rec.ops
+        assert write.seq >= read.seq
+
+    def test_latency_delays_visibility(self):
+        """With high latency and two workers on one key, reads are stale
+        and both increments compute from the same base — lost update."""
+        sim = Simulator(SimConfig(num_workers=2, seed=0, write_latency=50))
+        sim.run([increment_buu(["x"]) for _ in range(2)])
+        assert sim.store["x"] == 1  # second increment lost to staleness
+
+    def test_latency_increases_anomalies(self):
+        def anomalies(latency):
+            offline = OfflineAnomalyMonitor()
+            sim = Simulator(
+                SimConfig(num_workers=8, seed=5, write_latency=latency),
+                listeners=[offline],
+            )
+            sim.run([increment_buu([f"k{i % 20}"]) for i in range(300)])
+            return offline.exact_counts().two_cycles
+
+        assert anomalies(20) > anomalies(0)
+
+    def test_commit_waits_for_visibility(self):
+        rec = _Recorder()
+        sim = Simulator(SimConfig(num_workers=1, seed=0, write_latency=10),
+                        listeners=[rec])
+        sim.run([increment_buu(["x"])])
+        commit_time = rec.commits[0][1]
+        write_time = next(op.seq for op in rec.ops if op.op is OpType.WRITE)
+        assert commit_time >= write_time
+
+
+class TestStalenessBound:
+    def test_bound_one_is_synchronous(self):
+        """s=1: at most one outstanding write, so each write applies
+        before the worker proceeds — no self-overlap."""
+        rec = _Recorder()
+        sim = Simulator(
+            SimConfig(num_workers=2, seed=0, write_latency=5, staleness_bound=1),
+            listeners=[rec],
+        )
+        sim.run([increment_buu(["x", "y"]) for _ in range(10)])
+        assert sim.buus_completed == 10
+
+    def test_tighter_bound_fewer_anomalies(self):
+        """On a sparse workload (the Fig 7 regime), a tight staleness bound
+        yields a lower anomaly *rate* (cycles per unit of simulated time,
+        the paper's reporting convention) than unbounded asynchrony."""
+        import random as _random
+
+        def anomaly_rate(bound):
+            offline = OfflineAnomalyMonitor()
+            sim = Simulator(
+                SimConfig(num_workers=8, seed=2, write_latency=600,
+                          staleness_bound=bound, compute_jitter=40),
+                listeners=[offline],
+            )
+            rng = _random.Random(0)
+            buus = [
+                increment_buu([f"k{k}" for k in rng.sample(range(60), 4)])
+                for _ in range(300)
+            ]
+            sim.run(buus)
+            counts = offline.exact_counts()
+            return (counts.two_cycles + counts.three_cycles) / sim.now
+
+        assert anomaly_rate(1) < anomaly_rate(None)
+
+
+class TestBarriers:
+    def test_barrier_counts(self):
+        sim = Simulator(SimConfig(num_workers=4, seed=0, sync_frequency=1))
+        done = sim.run([increment_buu(["x"]) for _ in range(40)])
+        assert done == 40
+
+    def test_frequent_barriers_reduce_anomalies(self):
+        def anomalies(freq):
+            offline = OfflineAnomalyMonitor()
+            sim = Simulator(
+                SimConfig(num_workers=8, seed=4, sync_frequency=freq),
+                listeners=[offline],
+            )
+            sim.run([increment_buu([f"k{i % 6}"]) for i in range(400)])
+            return offline.exact_counts().two_cycles
+
+        low = anomalies(1)
+        high = anomalies(50)
+        assert low <= high
+
+
+class TestMonitorIntegration:
+    def test_rushmon_as_listener(self):
+        mon = RushMon(RushMonConfig(sampling_rate=1, pruning="both",
+                                    prune_interval=50))
+        sim = Simulator(SimConfig(num_workers=8, seed=9), listeners=[mon])
+        sim.run([increment_buu([f"k{i % 10}"]) for i in range(300)])
+        report = mon.report(sim.now)
+        assert report.operations == 600  # 300 reads + 300 writes
+
+    def test_monitor_matches_offline_unsampled(self):
+        mon = RushMon(RushMonConfig(sampling_rate=1, mob=False, pruning="none"))
+        offline = OfflineAnomalyMonitor()
+        sim = Simulator(SimConfig(num_workers=8, seed=9),
+                        listeners=[mon, offline])
+        sim.run([increment_buu([f"k{i % 10}"]) for i in range(300)])
+        exact = offline.exact_counts()
+        e2, e3 = mon.cumulative_estimates()
+        assert e2 == exact.two_cycles
+        assert e3 == exact.three_cycles
+
+    def test_monitor_matches_offline_with_pruning(self):
+        """Pruning on the live simulated stream does not change counts."""
+        pruned = RushMon(RushMonConfig(sampling_rate=1, mob=False, pruning="both",
+                                       prune_interval=25))
+        offline = OfflineAnomalyMonitor()
+        sim = Simulator(SimConfig(num_workers=8, seed=11),
+                        listeners=[pruned, offline])
+        sim.run([increment_buu([f"k{i % 8}"]) for i in range(400)])
+        exact = offline.exact_counts()
+        e2, e3 = pruned.cumulative_estimates()
+        assert e2 == exact.two_cycles
+        assert e3 == exact.three_cycles
+
+
+class TestSimConfigValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_workers=0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            SimConfig(write_latency=-1)
+
+    def test_bad_staleness(self):
+        with pytest.raises(ValueError):
+            SimConfig(staleness_bound=0)
+
+    def test_bad_sync_frequency(self):
+        with pytest.raises(ValueError):
+            SimConfig(sync_frequency=0)

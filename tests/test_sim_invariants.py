@@ -1,0 +1,162 @@
+"""Property-based invariants of the concurrency simulator.
+
+These pin down the simulator's contract, which everything above it
+(collectors, detectors, workloads) silently relies on.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import OpType
+from repro.sim import Buu, SimConfig, Simulator, read_modify_write
+
+
+class _Recorder:
+    def __init__(self):
+        self.ops = []
+        self.begins = {}
+        self.commits = {}
+
+    def on_operation(self, op):
+        self.ops.append(op)
+
+    def begin_buu(self, buu, t):
+        self.begins[buu] = t
+
+    def commit_buu(self, buu, t):
+        self.commits[buu] = t
+
+
+def _random_buus(seed, count, keys, max_touch):
+    rng = random.Random(seed)
+    buus = []
+    for _ in range(count):
+        touch = rng.randint(1, max_touch)
+        picked = rng.sample(range(keys), min(touch, keys))
+        buus.append(read_modify_write([f"k{k}" for k in picked],
+                                      lambda v: (v or 0) + 1))
+    return buus
+
+
+def _run(seed, workers, latency, staleness, jitter, count=60, keys=6,
+         max_touch=3):
+    rec = _Recorder()
+    sim = Simulator(
+        SimConfig(num_workers=workers, seed=seed, write_latency=latency,
+                  staleness_bound=staleness, compute_jitter=jitter),
+        listeners=[rec],
+    )
+    done = sim.run(_random_buus(seed, count, keys, max_touch))
+    return rec, sim, done
+
+
+sim_params = st.tuples(
+    st.integers(0, 10**6),     # seed
+    st.integers(1, 12),        # workers
+    st.sampled_from([0, 5, 50, 300]),   # latency
+    st.sampled_from([None, 1, 2, 5]),   # staleness
+    st.sampled_from([0, 5, 25]),        # jitter
+)
+
+
+@given(sim_params)
+@settings(max_examples=30, deadline=None)
+def test_every_buu_begins_and_commits(params):
+    rec, sim, done = _run(*params)
+    assert done == 60
+    assert set(rec.begins) == set(rec.commits)
+    assert len(rec.commits) == 60
+
+
+@given(sim_params)
+@settings(max_examples=30, deadline=None)
+def test_commit_not_before_begin(params):
+    rec, _, _ = _run(*params)
+    for buu, begin in rec.begins.items():
+        assert rec.commits[buu] >= begin
+
+
+@given(sim_params)
+@settings(max_examples=30, deadline=None)
+def test_op_seq_nondecreasing(params):
+    """Operations are delivered to listeners in visibility order."""
+    rec, _, _ = _run(*params)
+    seqs = [op.seq for op in rec.ops]
+    assert seqs == sorted(seqs)
+
+
+@given(sim_params)
+@settings(max_examples=30, deadline=None)
+def test_reads_precede_writes_within_buu(params):
+    rec, _, _ = _run(*params)
+    first_write: dict[int, int] = {}
+    for op in rec.ops:
+        if op.op is OpType.WRITE:
+            first_write.setdefault(op.buu, op.seq)
+    for op in rec.ops:
+        if op.op is OpType.READ and op.buu in first_write:
+            # A BUU's reads are all *issued* before its writes; a write
+            # only becomes visible (and is reported) at apply time, which
+            # is never before issue time.
+            assert op.seq <= first_write[op.buu]
+
+
+@given(sim_params)
+@settings(max_examples=30, deadline=None)
+def test_commit_time_is_last_write_visibility(params):
+    rec, _, _ = _run(*params)
+    last_write: dict[int, int] = {}
+    for op in rec.ops:
+        if op.op is OpType.WRITE:
+            last_write[op.buu] = op.seq
+    for buu, commit in rec.commits.items():
+        if buu in last_write:
+            assert commit >= last_write[buu]
+
+
+@given(sim_params)
+@settings(max_examples=30, deadline=None)
+def test_deterministic_replay(params):
+    rec1, _, _ = _run(*params)
+    rec2, _, _ = _run(*params)
+    assert [(o.op, o.buu, o.key, o.seq) for o in rec1.ops] == [
+        (o.op, o.buu, o.key, o.seq) for o in rec2.ops
+    ]
+
+
+@given(st.integers(0, 10**6), st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_additive_writes_never_lose_updates(seed, workers):
+    """Parameter-server deltas commute: the sum is exact regardless of
+    interleaving (unlike read-modify-write overwrites)."""
+    sim = Simulator(SimConfig(num_workers=workers, seed=seed,
+                              write_latency=100))
+    buus = [Buu(reads=[], compute=lambda v: {"acc": 1}, additive=True)
+            for _ in range(50)]
+    sim.run(buus)
+    assert sim.store["acc"] == 50
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_staleness_one_serialises_each_worker(seed):
+    """With s=1 a worker's BUUs never overlap: its i-th BUU commits
+    before its (i+1)-th begins.  Verified via single-worker runs where
+    the global order is exactly the worker's order."""
+    rec, _, _ = _run(seed, 1, 200, 1, 0, count=20)
+    # A commit and the next begin may share a timestamp; the commit
+    # happened first, so order commits (0) before begins (1) on ties.
+    events = sorted(
+        [(t, 1, "b", buu) for buu, t in rec.begins.items()]
+        + [(t, 0, "c", buu) for buu, t in rec.commits.items()]
+    )
+    events = [(t, kind, buu) for t, _, kind, buu in events]
+    open_buus = set()
+    for _, kind, buu in events:
+        if kind == "b":
+            assert not open_buus  # previous BUU fully committed
+            open_buus.add(buu)
+        else:
+            open_buus.discard(buu)

@@ -1,0 +1,115 @@
+"""Tests for the YCSB-style workload, the Zipfian generator, and the
+ASCII figure renderer."""
+
+import random
+
+import pytest
+
+from repro.bench.figures import render_loglog
+from repro.core.monitor import OfflineAnomalyMonitor
+from repro.sim import SimConfig, Simulator
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload, ZipfianGenerator
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(100, 0.9, random.Random(0))
+        values = gen.sample(5000)
+        assert all(0 <= v < 100 for v in values)
+
+    def test_skew_concentrates_on_small_ranks(self):
+        gen = ZipfianGenerator(1000, 0.99, random.Random(1))
+        values = gen.sample(10000)
+        top10 = sum(1 for v in values if v < 10)
+        assert top10 / len(values) > 0.3
+
+    def test_lower_theta_less_skewed(self):
+        def top1_share(theta):
+            gen = ZipfianGenerator(500, theta, random.Random(2))
+            values = gen.sample(8000)
+            return sum(1 for v in values if v == 0) / len(values)
+
+        assert top1_share(0.5) < top1_share(0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, 0.9)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, 1.0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, 0.0)
+
+
+class TestYcsbWorkload:
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            YcsbConfig(read=0.5, update=0.2, rmw=0.2)
+        with pytest.raises(ValueError):
+            YcsbConfig(records=2, keys_per_txn=3)
+
+    def test_buus_touch_configured_key_count(self):
+        workload = YcsbWorkload(YcsbConfig(records=50, keys_per_txn=3,
+                                           read=0.0, update=0.0, rmw=1.0))
+        for _ in range(20):
+            buu = workload.make_buu()
+            assert len(buu.reads) == 3
+
+    def test_read_only_buus_write_nothing(self):
+        workload = YcsbWorkload(YcsbConfig(read=1.0, update=0.0, rmw=0.0))
+        buu = workload.make_buu()
+        assert buu.run_compute({k: 1 for k in buu.reads}) == {}
+
+    def test_update_buus_declare_writes(self):
+        workload = YcsbWorkload(YcsbConfig(read=0.0, update=1.0, rmw=0.0))
+        buu = workload.make_buu()
+        assert not buu.reads
+        assert buu.writes_hint
+        writes = buu.run_compute({})
+        assert set(writes) == set(buu.writes_hint)
+
+    def test_runs_on_simulator(self):
+        workload = YcsbWorkload(YcsbConfig(records=100, seed=3))
+        sim = Simulator(SimConfig(num_workers=8, seed=3))
+        assert sim.run(workload.buus(200)) == 200
+
+    def test_skew_increases_anomalies(self):
+        """Hot keys are where conflicts live: higher theta, more cycles."""
+
+        def anomalies(theta):
+            workload = YcsbWorkload(
+                YcsbConfig(records=300, keys_per_txn=2, read=0.0,
+                           update=0.0, rmw=1.0, theta=theta, seed=4)
+            )
+            offline = OfflineAnomalyMonitor()
+            sim = Simulator(SimConfig(num_workers=16, seed=4,
+                                      write_latency=100, compute_jitter=10),
+                            listeners=[offline])
+            sim.run(workload.buus(600))
+            counts = offline.exact_counts()
+            return counts.two_cycles + counts.three_cycles
+
+        assert anomalies(0.5) < anomalies(0.95)
+
+
+class TestRenderLoglog:
+    def test_contains_title_and_legend(self):
+        chart = render_loglog(
+            "demo", [1, 10, 100],
+            {"a": [1.0, 10.0, 100.0], "b": [100.0, 10.0, 1.0]},
+        )
+        assert chart.startswith("demo")
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_drops_nonpositive_points(self):
+        chart = render_loglog("demo", [1, 10], {"a": [0.0, 5.0]})
+        assert chart.count("o") >= 1
+
+    def test_empty_series(self):
+        chart = render_loglog("demo", [1, 10], {"a": [0.0, 0.0]})
+        assert "no positive data" in chart
+
+    def test_grid_dimensions(self):
+        chart = render_loglog("demo", [1, 100],
+                              {"a": [2.0, 50.0]}, width=30, height=8)
+        body = [line for line in chart.splitlines() if "|" in line]
+        assert len(body) == 8
