@@ -12,6 +12,7 @@ from repro.bench.harness import (
 )
 from repro.bench.figures import render_loglog
 from repro.bench.reporting import emit, format_table, results_dir
+from repro.bench.threads import run_thread_scaling
 
 __all__ = [
     "SAMPLING_RATES",
@@ -26,4 +27,5 @@ __all__ = [
     "emit",
     "format_table",
     "results_dir",
+    "run_thread_scaling",
 ]

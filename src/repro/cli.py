@@ -40,6 +40,16 @@ def _monitor_from(args: argparse.Namespace) -> RushMon:
     ))
 
 
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=0,
+                        help="drive the workload from N real threads through "
+                             "the concurrent RushMonService (0 = serial)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="key-hash shards of the concurrent collector")
+    parser.add_argument("--detect-interval", type=float, default=0.02,
+                        help="seconds between background detection passes")
+
+
 def _add_sim_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=16)
     parser.add_argument("--latency", type=int, default=100,
@@ -71,8 +81,46 @@ def _counter_buus(count: int, keys: int, touch: int, seed: int):
                                 lambda v: (v or 0) + 1)
 
 
+def _service_quickstart(args: argparse.Namespace) -> int:
+    """quickstart --threads N: same workload, real threads, background
+    detection via the concurrent RushMonService."""
+    from repro.core.concurrent import RushMonService
+    from repro.sim.scheduler import ThreadedWorkloadDriver
+
+    service = RushMonService(
+        RushMonConfig(sampling_rate=args.sampling_rate, mob=not args.no_mob,
+                      pruning=args.pruning, seed=args.seed),
+        num_shards=args.shards,
+        detect_interval=args.detect_interval,
+    )
+    # Yield points widen the interleaving space the GIL would otherwise
+    # make coarse — without them the toy workload is nearly anomaly-free.
+    driver = ThreadedWorkloadDriver([service], num_threads=args.threads,
+                                    seed=args.seed, yield_every=5)
+    print(f"threads: {args.threads}   shards: {args.shards}")
+    print("window  ops   est 2-cycles  est 3-cycles  top pattern")
+    with service:
+        for window in range(args.windows):
+            driver.run(list(_counter_buus(args.buus, args.keys, args.touch,
+                                          args.seed + window)))
+            report = service.flush()
+            if report is None:
+                continue
+            top = max(report.patterns, key=report.patterns.get) \
+                if report.patterns else "-"
+            print(f"{window:>6}  {report.operations:>4}  "
+                  f"{report.estimated_2:>12.1f}  {report.estimated_3:>12.1f}  "
+                  f"{top}")
+    e2, e3 = service.cumulative_estimates()
+    print(f"\ntotal: {e2:.0f} two-cycles, {e3:.0f} three-cycles "
+          f"({service.detector.num_vertices} live vertices after pruning)")
+    return 0
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     """Run a monitored toy workload and print windowed reports."""
+    if args.threads > 0:
+        return _service_quickstart(args)
     monitor = _monitor_from(args)
     sim = Simulator(_sim_config(args), listeners=[monitor])
     print("window  ops   est 2-cycles  est 3-cycles  top pattern")
@@ -181,6 +229,23 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_bench_threads(args: argparse.Namespace) -> int:
+    """Run the serial vs. sharded thread-scaling benchmark."""
+    from repro.bench.threads import run_thread_scaling
+
+    thread_counts = [int(v) for v in args.threads.split(",")]
+    run_thread_scaling(
+        thread_counts=thread_counts,
+        buus=args.buus,
+        keys=args.keys,
+        touch=args.touch,
+        sampling_rate=args.sampling_rate,
+        num_shards=args.shards,
+        seed=args.seed,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -193,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     quick = sub.add_parser("quickstart", help="monitor a toy workload")
     _add_monitor_args(quick)
     _add_sim_args(quick)
+    _add_service_args(quick)
     quick.add_argument("--windows", type=int, default=5)
     quick.add_argument("--buus", type=int, default=400)
     quick.add_argument("--keys", type=int, default=20)
@@ -233,6 +299,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor_args(ana)
     ana.add_argument("trace")
     ana.set_defaults(func=cmd_analyze)
+
+    bench = sub.add_parser(
+        "bench-threads",
+        help="serial vs. sharded monitored throughput at 1/2/4/8 threads",
+    )
+    bench.add_argument("--threads", default="1,2,4,8",
+                       help="comma-separated thread counts")
+    bench.add_argument("--buus", type=int, default=4000)
+    bench.add_argument("--keys", type=int, default=256)
+    bench.add_argument("--touch", type=int, default=3)
+    bench.add_argument("--sampling-rate", type=int, default=4)
+    bench.add_argument("--shards", type=int, default=16)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=cmd_bench_threads)
 
     chk = sub.add_parser(
         "check", help="offline serializability check of a trace"

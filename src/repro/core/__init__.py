@@ -3,10 +3,12 @@
 from repro.core.collector import (
     BaselineCollector,
     Collector,
+    CollectorShard,
     DataCentricCollector,
     EdgeSamplingCollector,
     ItemSampler,
 )
+from repro.core.concurrent import RushMonService, ShardedCollector
 from repro.core.config import RushMonConfig
 from repro.core.controller import (
     AnomalyController,
@@ -20,7 +22,7 @@ from repro.core.estimator import (
     estimate_three_cycles,
     estimate_two_cycles,
 )
-from repro.core.monitor import OfflineAnomalyMonitor, RushMon
+from repro.core.monitor import OfflineAnomalyMonitor, RushMon, WindowTracker
 from repro.core.patterns import (
     AnomalyPattern,
     PatternCounts,
@@ -58,9 +60,13 @@ from repro.core.types import (
 __all__ = [
     "BaselineCollector",
     "Collector",
+    "CollectorShard",
     "DataCentricCollector",
     "EdgeSamplingCollector",
     "ItemSampler",
+    "RushMonService",
+    "ShardedCollector",
+    "WindowTracker",
     "RushMonConfig",
     "AnomalyController",
     "ControllerDecision",

@@ -224,64 +224,39 @@ class ItemSampler:
         return mixed % self.sampling_rate == 0
 
 
-class DataCentricCollector(Collector):
-    """Section 5's collector: data-centric sampling + optional MOB.
+class CollectorShard:
+    """Mergeable per-shard bookkeeping for data-centric collection.
 
-    Parameters
-    ----------
-    sampling_rate:
-        The paper's ``sr``; each data item is chosen with ``p = 1/sr``.
-    mob:
-        Use memory-optimized bookkeeping (Algorithm 2's fixed-length
-        reservoir) instead of a full ``readIDs`` set.  Fig 19-22 compare
-        both.
-    mob_slots:
-        Length of the fixed read array.  §5.2 derives that ~2 reads sit
-        between consecutive writes in a random r/w mix, so 2 is the
-        default; 1 reproduces the single-slot pseudo-code of Algorithm 2
-        verbatim (and loses the cycles whose surviving read belongs to
-        the writer itself).
-    items:
-        Optional known item universe for an exact up-front sample.
-    resample_interval:
-        If set, re-sample the chosen items every this many operations
-        (§5.1, "reducing systematic variance").  Item states reset on each
-        switch; the empty ``lastWrite`` acts as the warm-up phase.
+    One shard owns the Algorithm 1/2 per-item state (``lastWrite``,
+    read set or MOB reservoir) for a disjoint subset of the key space,
+    plus every counter derived from it.  The serial
+    :class:`DataCentricCollector` drives exactly one shard; the
+    concurrent :class:`~repro.core.concurrent.ShardedCollector` drives
+    one lock-protected shard per key-hash partition.  Both paths run
+    this code, so they cannot drift.
+
+    All state combines associatively across disjoint key ranges —
+    :class:`~repro.core.types.EdgeStats` and the scalar counters add,
+    item tables union (a key lives in exactly one shard), and MOB
+    reservoir slots are per-item so a union preserves them — which is
+    what :meth:`merge` implements (the sharded analogue of combining
+    Algorithm 2 state).
     """
 
-    def __init__(
-        self,
-        sampling_rate: int = 1,
-        mob: bool = True,
-        items: Iterable[Key] | None = None,
-        seed: int = 0,
-        resample_interval: int | None = None,
-        mob_slots: int = 2,
-    ) -> None:
-        super().__init__()
+    def __init__(self, mob: bool = True, mob_slots: int = 2,
+                 rng: random.Random | None = None) -> None:
         if mob_slots < 1:
             raise ValueError("mob_slots must be >= 1")
         self.mob = mob
         self.mob_slots = mob_slots
-        self.sampler = ItemSampler(sampling_rate, seed)
-        if items is not None:
-            self.sampler.materialize(items)
-        self._rng = random.Random(seed ^ 0x5EED)
-        self._mob_items: dict[Key, _MobItemState] = {}
-        self._full_items: dict[Key, _FullItemState] = {}
-        self._resample_interval = resample_interval
-        self._resample_epoch = 0
+        self._rng = rng or random.Random(0)
+        self.stats = EdgeStats()
+        self.touches = 0
         # ww-edge calibration (§5.2): ratio of reads MOB discarded.
         self.total_reads = 0
         self.discarded_reads = 0
-
-    @property
-    def sampling_rate(self) -> int:
-        return self.sampler.sampling_rate
-
-    @property
-    def sampling_probability(self) -> float:
-        return self.sampler.probability
+        self._mob_items: dict[Key, _MobItemState] = {}
+        self._full_items: dict[Key, _FullItemState] = {}
 
     @property
     def discard_ratio(self) -> float:
@@ -290,21 +265,35 @@ class DataCentricCollector(Collector):
             return 0.0
         return self.discarded_reads / self.total_reads
 
-    def handle(self, op: Operation) -> list[Edge]:
-        self.ops_seen += 1
-        edges: list[Edge] = []
-        if self.sampler.chosen(op.key):
-            self.touches += 1
-            edges = self._handle_mob(op) if self.mob else self._handle_full(op)
-        if self._resample_interval and self.ops_seen % self._resample_interval == 0:
-            self._switch_sample()
-        return edges
+    @property
+    def num_items(self) -> int:
+        return len(self._mob_items) + len(self._full_items)
 
-    def _switch_sample(self) -> None:
-        self._resample_epoch += 1
-        self.sampler.reseed(self._resample_epoch * 0x9E3779B1 + 1)
+    def handle(self, op: Operation) -> list[Edge]:
+        """Bookkeep one operation on an already-chosen item."""
+        self.touches += 1
+        return self._handle_mob(op) if self.mob else self._handle_full(op)
+
+    def clear_items(self) -> None:
+        """Drop all per-item state (sample switches, §5.1)."""
         self._mob_items.clear()
         self._full_items.clear()
+
+    def merge(self, other: "CollectorShard") -> None:
+        """Absorb another shard covering a *disjoint* key range."""
+        self.stats.add(other.stats)
+        self.touches += other.touches
+        self.total_reads += other.total_reads
+        self.discarded_reads += other.discarded_reads
+        self._mob_items.update(other._mob_items)
+        self._full_items.update(other._full_items)
+
+    def _emit(self, src: BuuId | None, dst: BuuId, kind: EdgeType,
+              op: Operation, out: list[Edge]) -> None:
+        if src is None or src == dst:
+            return
+        self.stats.record(kind)
+        out.append(Edge(src, dst, kind, op.key, op.seq))
 
     # -- Algorithm 2 (MOB) -------------------------------------------------
 
@@ -361,3 +350,101 @@ class DataCentricCollector(Collector):
             state.read_ids.clear()
             state.last_write = op.buu
         return out
+
+
+class DataCentricCollector(Collector):
+    """Section 5's collector: data-centric sampling + optional MOB.
+
+    Parameters
+    ----------
+    sampling_rate:
+        The paper's ``sr``; each data item is chosen with ``p = 1/sr``.
+    mob:
+        Use memory-optimized bookkeeping (Algorithm 2's fixed-length
+        reservoir) instead of a full ``readIDs`` set.  Fig 19-22 compare
+        both.
+    mob_slots:
+        Length of the fixed read array.  §5.2 derives that ~2 reads sit
+        between consecutive writes in a random r/w mix, so 2 is the
+        default; 1 reproduces the single-slot pseudo-code of Algorithm 2
+        verbatim (and loses the cycles whose surviving read belongs to
+        the writer itself).
+    items:
+        Optional known item universe for an exact up-front sample.
+    resample_interval:
+        If set, re-sample the chosen items every this many operations
+        (§5.1, "reducing systematic variance").  Item states reset on each
+        switch; the empty ``lastWrite`` acts as the warm-up phase.
+    """
+
+    def __init__(
+        self,
+        sampling_rate: int = 1,
+        mob: bool = True,
+        items: Iterable[Key] | None = None,
+        seed: int = 0,
+        resample_interval: int | None = None,
+        mob_slots: int = 2,
+    ) -> None:
+        # The bookkeeping state lives in a single CollectorShard (the
+        # counters the Collector base would set are properties here), so
+        # the serial path and the N-shard concurrent path share one
+        # implementation.
+        self.ops_seen = 0
+        self.shard = CollectorShard(mob, mob_slots, random.Random(seed ^ 0x5EED))
+        self.sampler = ItemSampler(sampling_rate, seed)
+        if items is not None:
+            self.sampler.materialize(items)
+        self._resample_interval = resample_interval
+        self._resample_epoch = 0
+
+    @property
+    def mob(self) -> bool:
+        return self.shard.mob
+
+    @property
+    def mob_slots(self) -> int:
+        return self.shard.mob_slots
+
+    @property
+    def stats(self) -> EdgeStats:
+        return self.shard.stats
+
+    @property
+    def touches(self) -> int:
+        return self.shard.touches
+
+    @property
+    def total_reads(self) -> int:
+        return self.shard.total_reads
+
+    @property
+    def discarded_reads(self) -> int:
+        return self.shard.discarded_reads
+
+    @property
+    def sampling_rate(self) -> int:
+        return self.sampler.sampling_rate
+
+    @property
+    def sampling_probability(self) -> float:
+        return self.sampler.probability
+
+    @property
+    def discard_ratio(self) -> float:
+        """Fraction of observed reads whose rw edge MOB dropped."""
+        return self.shard.discard_ratio
+
+    def handle(self, op: Operation) -> list[Edge]:
+        self.ops_seen += 1
+        edges: list[Edge] = []
+        if self.sampler.chosen(op.key):
+            edges = self.shard.handle(op)
+        if self._resample_interval and self.ops_seen % self._resample_interval == 0:
+            self._switch_sample()
+        return edges
+
+    def _switch_sample(self) -> None:
+        self._resample_epoch += 1
+        self.sampler.reseed(self._resample_epoch * 0x9E3779B1 + 1)
+        self.shard.clear_items()

@@ -1,0 +1,19 @@
+"""Concurrent RushMon: sharded thread-safe collection + background detection.
+
+The serial monitor (:mod:`repro.core.monitor`) assumes a single caller.
+This package makes the monitor safe under real threads:
+
+- :class:`ShardedCollector` — key-hash shards, one lock and one
+  :class:`~repro.core.collector.CollectorShard` each, so writers on
+  disjoint keys never contend; an optional ticket-ordered journal
+  records the serialized execution.
+- :class:`RushMonService` — runs the pruned cycle detector on a
+  background thread at a configurable window interval and publishes
+  each window's :class:`~repro.core.types.AnomalyReport` via an atomic
+  snapshot, with graceful ``start()``/``stop()`` drain semantics.
+"""
+
+from repro.core.concurrent.service import RushMonService
+from repro.core.concurrent.sharded import ShardedCollector
+
+__all__ = ["RushMonService", "ShardedCollector"]

@@ -1,0 +1,251 @@
+"""The concurrent RushMon monitoring service.
+
+:class:`RushMonService` is the threaded counterpart of the serial
+:class:`~repro.core.monitor.RushMon` facade.  Producer threads call the
+standard listener protocol (``on_operation`` / ``begin_buu`` /
+``commit_buu``); collection happens inline under the owning shard's lock
+(:class:`~repro.core.concurrent.sharded.ShardedCollector`), while cycle
+detection runs on a *background thread* that wakes every
+``detect_interval`` seconds, drains the ticket-ordered event journal,
+feeds the pruned :class:`~repro.core.detector.CycleDetector`, closes a
+monitoring window and publishes the resulting
+:class:`~repro.core.types.AnomalyReport` as an atomic snapshot
+(a single reference swap — readers never see a torn report).
+
+Because the detector consumes events in ticket order, the detection path
+is literally a serial RushMon replay of the serialized trace; the only
+concurrency-sensitive code is the sharded collector, whose per-key
+bookkeeping order matches the ticket order by construction.  That is the
+invariant the differential and stress tests pin: at ``sr=1`` the service
+must report exactly what :class:`~repro.core.monitor.OfflineAnomalyMonitor`
+computes from the recorded serialized trace.
+
+Drain semantics: ``stop()`` joins the detection thread and runs one
+final detection pass, so every event submitted *before* ``stop()`` was
+called is reflected in the final counts.  Producers must stop submitting
+before calling ``stop()`` (events submitted concurrently with the final
+pass are processed on the next ``flush()``/``stop()``, never lost).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Iterable
+
+from repro.core.concurrent.sharded import EV_BEGIN, EV_COMMIT, EV_OP, ShardedCollector
+from repro.core.config import RushMonConfig
+from repro.core.detector import CycleDetector
+from repro.core.estimator import estimate_three_cycles, estimate_two_cycles
+from repro.core.monitor import WindowTracker
+from repro.core.pruning import make_pruner
+from repro.core.types import AnomalyReport, BuuId, CycleCounts, Key, Operation
+
+
+class RushMonService:
+    """Thread-safe RushMon monitor with background windowed detection.
+
+    Parameters
+    ----------
+    config:
+        The usual :class:`~repro.core.config.RushMonConfig`.
+        ``resample_interval`` is ignored (unsupported in sharded mode —
+        see :mod:`repro.core.concurrent.sharded`).
+    num_shards:
+        Key-hash partitions of the collector (= write parallelism).
+    detect_interval:
+        Seconds between background detection passes; each pass that
+        observed events closes one monitoring window.
+    items:
+        Optional known item universe for an exact up-front sample.
+    record_trace:
+        Keep the serialized (ticket-ordered) trace of everything
+        processed, for offline replay/auditing.  Costs memory linear in
+        the event count; meant for tests and debugging.
+    """
+
+    def __init__(
+        self,
+        config: RushMonConfig | None = None,
+        *,
+        num_shards: int = 8,
+        detect_interval: float = 0.05,
+        items: Iterable[Key] | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        if detect_interval <= 0:
+            raise ValueError("detect_interval must be > 0")
+        self.config = config or RushMonConfig()
+        self.detect_interval = detect_interval
+        self.collector = ShardedCollector(
+            sampling_rate=self.config.sampling_rate,
+            mob=self.config.mob,
+            items=items,
+            seed=self.config.seed,
+            num_shards=num_shards,
+            journal=True,
+        )
+        self.detector = CycleDetector(
+            pruner=make_pruner(self.config.pruning),
+            prune_interval=self.config.prune_interval,
+            count_three=self.config.count_three_cycles,
+        )
+        self._window = WindowTracker(self.detector)
+        self.reports: list[AnomalyReport] = []
+        self._latest: AnomalyReport | None = None
+        self._pass_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+        self._clock = 0  # last processed ticket (the service's logical now)
+        self.processed_events = 0
+        self.passes = 0
+        if record_trace:
+            from repro.sim.traces import Trace
+
+            self._trace = Trace()
+        else:
+            self._trace = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "RushMonService":
+        """Spawn the background detection thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="rushmon-detector", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> AnomalyReport | None:
+        """Stop the detection thread; with ``drain`` (default) run one
+        final pass so all submitted events are reflected.  Returns the
+        last published report.  Re-raises any detection-thread error."""
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if drain:
+            self._detect_pass()
+        self._raise_pending()
+        return self._latest
+
+    def __enter__(self) -> "RushMonService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        try:
+            while not self._stop_event.wait(self.detect_interval):
+                self._detect_pass()
+        except BaseException as exc:  # surfaced on stop()/flush()
+            self._error = exc
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise RuntimeError("rushmon detection thread failed") from error
+
+    # -- producer-side listener protocol (any thread) --------------------------
+
+    def on_operation(self, op: Operation) -> None:
+        """Observe one read/write (thread-safe; collection is inline,
+        detection is deferred to the background pass)."""
+        self.collector.handle(op)
+
+    def on_operations(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.collector.handle(op)
+
+    def begin_buu(self, buu: BuuId, start_time: int = 0) -> None:
+        self.collector.record_lifecycle(EV_BEGIN, buu, start_time)
+
+    def commit_buu(self, buu: BuuId, commit_time: int = 0) -> None:
+        self.collector.record_lifecycle(EV_COMMIT, buu, commit_time)
+
+    # -- detection (background thread, or flush() caller) -----------------------
+
+    def _detect_pass(self) -> AnomalyReport | None:
+        """Drain the journal, feed the detector in ticket order, close a
+        window.  Serialized by ``_pass_lock`` so an explicit ``flush()``
+        cannot interleave with the background thread."""
+        with self._pass_lock:
+            events = self.collector.drain_journal()
+            for ticket, kind, payload, extra in events:
+                self._clock = ticket
+                if kind == EV_OP:
+                    self._window.observe_operation()
+                    if self._trace is not None:
+                        self._trace.ops.append(replace(payload, seq=ticket))
+                    for edge in extra:
+                        # Re-stamp with the ticket: the detector's logical
+                        # clock (window ends, prune 'now') must follow the
+                        # serialized order, not the producers' own seqs.
+                        self._window.observe_edge(replace(edge, seq=ticket))
+                elif kind == EV_BEGIN:
+                    self.detector.begin_buu(payload, ticket)
+                    if self._trace is not None:
+                        self._trace.begins.append((payload, ticket))
+                else:
+                    self.detector.commit_buu(payload, ticket)
+                    if self._trace is not None:
+                        self._trace.commits.append((payload, ticket))
+            self.passes += 1
+            if not events:
+                return None
+            self.processed_events += len(events)
+            report = self._window.close(
+                self._clock, self.collector.sampling_probability
+            )
+            self.reports.append(report)
+            self._latest = report  # atomic reference swap
+            return report
+
+    def flush(self) -> AnomalyReport | None:
+        """Synchronously run one detection pass; returns the report of
+        the window it closed (None if no events were pending)."""
+        self._raise_pending()
+        return self._detect_pass()
+
+    # -- consumer-side views ---------------------------------------------------
+
+    def latest_report(self) -> AnomalyReport | None:
+        """The most recently published window report (atomic snapshot:
+        reports are immutable once published, and this is a single
+        reference read)."""
+        return self._latest
+
+    def counts(self) -> CycleCounts:
+        """Cumulative sampled cycle counts over the service's lifetime."""
+        with self._pass_lock:
+            return self.detector.counts.copy()
+
+    def cumulative_estimates(self) -> tuple[float, float]:
+        """Unbiased (E2, E3) over everything processed so far."""
+        raw = self.counts()
+        p = self.collector.sampling_probability
+        return estimate_two_cycles(raw, p), estimate_three_cycles(raw, p)
+
+    def serialized_trace(self):
+        """The recorded ticket-ordered trace (``record_trace=True`` only).
+
+        Call after :meth:`stop` or :meth:`flush`; events still in shard
+        journals are not yet part of the trace.  Replaying it through
+        :class:`~repro.core.monitor.OfflineAnomalyMonitor` reproduces the
+        service's counts exactly at ``sr=1`` (the differential tests'
+        invariant).
+        """
+        if self._trace is None:
+            raise RuntimeError(
+                "trace recording is off; construct with record_trace=True"
+            )
+        return self._trace

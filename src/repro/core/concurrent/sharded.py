@@ -1,0 +1,214 @@
+"""Sharded, thread-safe data-centric collection.
+
+:class:`ShardedCollector` partitions the key space into ``num_shards``
+key-hash shards, each guarded by its own lock and holding its own
+:class:`~repro.core.collector.CollectorShard` bookkeeping.  Writer
+threads operating on keys that hash to different shards never contend;
+threads on the same shard serialize only the per-item bookkeeping, which
+is exactly the per-key serialization the paper's collector assumes
+("operations on the same data item are fully ordered", §2.1).
+
+Correctness rests on two facts:
+
+- Algorithm 1/2 bookkeeping is *per item*, and an item lives in exactly
+  one shard, so the edges a sharded run derives are identical to the
+  edges a serial run derives from any operation stream with the same
+  per-key order.
+- Per-shard state combines associatively
+  (:meth:`~repro.core.collector.CollectorShard.merge`), so aggregate
+  statistics equal the serial collector's.
+
+The optional *journal* records every event with a globally unique,
+monotonically increasing ticket, assigned while the shard lock is held.
+:meth:`drain_journal` briefly acquires **all** shard locks, swaps the
+journal buffers out and merges them by ticket: because tickets are only
+issued under a shard lock, holding every lock guarantees the drained
+batch is a complete prefix of the ticket sequence — the serialized trace
+of the concurrent execution.  The background detection thread of
+:class:`~repro.core.concurrent.service.RushMonService` consumes this
+journal; replaying it through the offline baseline must (and, per the
+differential tests, does) reproduce the service's counts exactly.
+
+Periodic re-sampling (§5.1) is intentionally unsupported here: a sample
+switch must clear every shard atomically, which would need the same
+stop-the-world drain on the hot path.  The serial
+:class:`~repro.core.collector.DataCentricCollector` retains it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+from typing import Iterable
+
+from repro.core.collector import CollectorShard, ItemSampler, _splitmix64
+from repro.core.types import Edge, EdgeStats, Key, Operation
+
+#: Journal event kinds.
+EV_OP = "op"
+EV_BEGIN = "begin"
+EV_COMMIT = "commit"
+
+
+class _Shard:
+    """One lock-protected partition: bookkeeping state + journal buffer."""
+
+    __slots__ = ("lock", "state", "journal", "ops_seen")
+
+    def __init__(self, state: CollectorShard) -> None:
+        self.lock = threading.Lock()
+        self.state = state
+        self.journal: list[tuple] = []
+        self.ops_seen = 0
+
+
+class ShardedCollector:
+    """Thread-safe data-centric collector over key-hash shards.
+
+    Parameters mirror :class:`~repro.core.collector.DataCentricCollector`
+    (``sampling_rate``, ``mob``, ``mob_slots``, ``items``, ``seed``) plus:
+
+    num_shards:
+        Number of key-hash partitions (= maximum write parallelism).
+    journal:
+        Record a ticket-ordered event journal for a background detector
+        (see module docstring).  Off by default: a standalone sharded
+        collector returns edges to the caller and keeps no history.
+    """
+
+    def __init__(
+        self,
+        sampling_rate: int = 1,
+        mob: bool = True,
+        items: Iterable[Key] | None = None,
+        seed: int = 0,
+        mob_slots: int = 2,
+        num_shards: int = 8,
+        journal: bool = False,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        # The sampler is shared: chosen() is a pure function of
+        # (key, salt) — or a frozen materialized set — so concurrent
+        # reads need no lock.
+        self.sampler = ItemSampler(sampling_rate, seed)
+        if items is not None:
+            self.sampler.materialize(items)
+        self._shards = [
+            _Shard(CollectorShard(mob, mob_slots,
+                                  random.Random(seed ^ 0x5EED ^ (i * 0x9E37))))
+            for i in range(num_shards)
+        ]
+        self._ticket = itertools.count()
+        self._journal = journal
+
+    # -- partitioning --------------------------------------------------------
+
+    def shard_index(self, key: Key) -> int:
+        """The shard owning ``key`` (stable within the process)."""
+        return _splitmix64(hash(key)) % self.num_shards
+
+    # -- ingestion (any thread) ----------------------------------------------
+
+    def handle(self, op: Operation) -> list[Edge]:
+        """Bookkeep one operation under its shard's lock; returns the
+        derived edges (empty if the item was not sampled)."""
+        shard = self._shards[self.shard_index(op.key)]
+        with shard.lock:
+            shard.ops_seen += 1
+            if self.sampler.chosen(op.key):
+                edges = shard.state.handle(op)
+            else:
+                edges = []
+            if self._journal:
+                shard.journal.append((next(self._ticket), EV_OP, op, edges))
+        return edges
+
+    def handle_all(self, ops: Iterable[Operation]) -> list[Edge]:
+        edges: list[Edge] = []
+        for op in ops:
+            edges.extend(self.handle(op))
+        return edges
+
+    def record_lifecycle(self, kind: str, buu: int, time: int) -> None:
+        """Journal a BUU ``begin``/``commit`` event (routed by BUU hash so
+        the ticket is assigned under some shard lock)."""
+        if not self._journal:
+            return
+        shard = self._shards[_splitmix64(buu) % self.num_shards]
+        with shard.lock:
+            shard.journal.append((next(self._ticket), kind, buu, time))
+
+    # -- journal draining (detection thread) ----------------------------------
+
+    def drain_journal(self) -> list[tuple]:
+        """Swap out all shard journals and return their events merged by
+        ticket — a complete prefix of the serialized execution.
+
+        Tickets are only issued while holding a shard lock, so acquiring
+        every shard lock (briefly — the swap is a pointer exchange)
+        guarantees no ticket issued so far is still in flight.
+        """
+        for shard in self._shards:
+            shard.lock.acquire()
+        try:
+            batches = [shard.journal for shard in self._shards]
+            for shard in self._shards:
+                shard.journal = []
+        finally:
+            for shard in reversed(self._shards):
+                shard.lock.release()
+        # Each batch is ticket-sorted (appended in issue order under the
+        # lock); tickets are unique, so the merge is a total order.
+        return list(heapq.merge(*batches))
+
+    # -- aggregate views ------------------------------------------------------
+
+    @property
+    def sampling_rate(self) -> int:
+        return self.sampler.sampling_rate
+
+    @property
+    def sampling_probability(self) -> float:
+        return self.sampler.probability
+
+    @property
+    def ops_seen(self) -> int:
+        return sum(shard.ops_seen for shard in self._shards)
+
+    @property
+    def stats(self) -> EdgeStats:
+        total = EdgeStats()
+        for shard in self._shards:
+            total.add(shard.state.stats)
+        return total
+
+    @property
+    def touches(self) -> int:
+        return sum(shard.state.touches for shard in self._shards)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(shard.state.total_reads for shard in self._shards)
+
+    @property
+    def discarded_reads(self) -> int:
+        return sum(shard.state.discarded_reads for shard in self._shards)
+
+    @property
+    def discard_ratio(self) -> float:
+        reads = self.total_reads
+        if reads == 0:
+            return 0.0
+        return self.discarded_reads / reads
+
+    def merged(self) -> CollectorShard:
+        """A fresh :class:`CollectorShard` holding the associative merge
+        of every shard's state (counters add, item tables union)."""
+        combined = CollectorShard()
+        for shard in self._shards:
+            combined.merge(shard.state)
+        return combined

@@ -29,6 +29,63 @@ from repro.core.types import (
 )
 
 
+class WindowTracker:
+    """Accumulates one monitoring window's raw counts and closes it into
+    an :class:`~repro.core.types.AnomalyReport`.
+
+    Shared by the serial :class:`RushMon` facade and the concurrent
+    :class:`~repro.core.concurrent.RushMonService`, so windowing and
+    report construction have exactly one implementation.  The tracker
+    owns no locking; callers serialize access (RushMon is
+    single-threaded, the service feeds it only from its detection
+    thread).
+    """
+
+    def __init__(self, detector: CycleDetector, start: int = 0) -> None:
+        self.detector = detector
+        self.raw = CycleCounts()
+        self.edges = EdgeStats()
+        self.ops = 0
+        self.window_start = start
+        self._pattern_snapshot = detector.patterns.copy()
+
+    def observe_operation(self) -> None:
+        self.ops += 1
+
+    def observe_edge(self, edge) -> None:
+        """Feed one collected edge to the detector, window-attributed."""
+        self.edges.record(edge.kind)
+        self.raw.add(self.detector.add_edge(edge))
+
+    def close(self, end: int, probability: float) -> AnomalyReport:
+        """Close the current window and return its report; the tracker
+        resets and the next window starts at ``end``."""
+        est2 = estimate_two_cycles(self.raw, probability)
+        est3 = estimate_three_cycles(self.raw, probability)
+        current_patterns = self.detector.patterns
+        window_patterns = {
+            pattern.value: count - self._pattern_snapshot.counts.get(pattern, 0)
+            for pattern, count in current_patterns.counts.items()
+            if count > self._pattern_snapshot.counts.get(pattern, 0)
+        }
+        rep = AnomalyReport(
+            window_start=self.window_start,
+            window_end=end,
+            estimated_2=est2,
+            estimated_3=est3,
+            raw=self.raw.copy(),
+            edges=self.edges.copy(),
+            operations=self.ops,
+            patterns=window_patterns,
+        )
+        self.raw = CycleCounts()
+        self.edges = EdgeStats()
+        self.ops = 0
+        self.window_start = end
+        self._pattern_snapshot = current_patterns.copy()
+        return rep
+
+
 class RushMon:
     """Real-time isolation anomalies monitor.
 
@@ -66,11 +123,7 @@ class RushMon:
             prune_interval=self.config.prune_interval,
             count_three=self.config.count_three_cycles,
         )
-        self._window_raw = CycleCounts()
-        self._window_edges = EdgeStats()
-        self._window_ops = 0
-        self._window_start = 0
-        self._pattern_snapshot = self.detector.patterns.copy()
+        self._window = WindowTracker(self.detector)
         self._now = 0
         self.reports: list[AnomalyReport] = []
 
@@ -93,11 +146,9 @@ class RushMon:
     def on_operation(self, op: Operation) -> None:
         """Observe one read/write in its storage visibility order."""
         self._now = max(self._now, op.seq)
-        self._window_ops += 1
+        self._window.observe_operation()
         for edge in self.collector.handle(op):
-            self._window_edges.record(edge.kind)
-            new = self.detector.add_edge(edge)
-            self._window_raw.add(new)
+            self._window.observe_edge(edge)
 
     def on_operations(self, ops: Iterable[Operation]) -> None:
         for op in ops:
@@ -111,38 +162,15 @@ class RushMon:
 
     def estimates(self, raw: CycleCounts | None = None) -> tuple[float, float]:
         """Unbiased (E2, E3) for ``raw`` (default: the current window)."""
-        raw = raw if raw is not None else self._window_raw
+        raw = raw if raw is not None else self._window.raw
         p = self.sampling_probability
         return estimate_two_cycles(raw, p), estimate_three_cycles(raw, p)
 
     def report(self, now: int | None = None) -> AnomalyReport:
         """Close the current window and return its anomaly report."""
         end = self._time(now)
-        est2, est3 = self.estimates()
-        current_patterns = self.detector.patterns
-        window_patterns = {
-            pattern.value: count - self._pattern_snapshot.counts.get(pattern, 0)
-            for pattern, count in current_patterns.counts.items()
-            if count > self._pattern_snapshot.counts.get(pattern, 0)
-        }
-        rep = AnomalyReport(
-            window_start=self._window_start,
-            window_end=end,
-            estimated_2=est2,
-            estimated_3=est3,
-            raw=self._window_raw.copy(),
-            edges=EdgeStats(
-                self._window_edges.wr, self._window_edges.ww, self._window_edges.rw
-            ),
-            operations=self._window_ops,
-            patterns=window_patterns,
-        )
+        rep = self._window.close(end, self.sampling_probability)
         self.reports.append(rep)
-        self._window_raw = CycleCounts()
-        self._window_edges = EdgeStats()
-        self._window_ops = 0
-        self._window_start = end
-        self._pattern_snapshot = current_patterns.copy()
         return rep
 
     def cumulative_estimates(self) -> tuple[float, float]:

@@ -163,6 +163,14 @@ class EdgeStats:
         else:
             self.rw += 1
 
+    def add(self, other: "EdgeStats") -> None:
+        self.wr += other.wr
+        self.ww += other.ww
+        self.rw += other.rw
+
+    def copy(self) -> "EdgeStats":
+        return EdgeStats(self.wr, self.ww, self.rw)
+
     def as_dict(self) -> dict[str, int]:
         return {"wr": self.wr, "ww": self.ww, "rw": self.rw}
 

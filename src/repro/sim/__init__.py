@@ -1,8 +1,8 @@
 """Concurrency simulator: the reproduction's multi-core substrate."""
 
 from repro.sim.buu import Buu, ComputeFn, read_modify_write
-from repro.sim.scheduler import SimConfig, Simulator
+from repro.sim.scheduler import SimConfig, Simulator, ThreadedWorkloadDriver
 from repro.sim.traces import Trace, TraceWriter
 
 __all__ = ["Buu", "ComputeFn", "read_modify_write", "SimConfig", "Simulator",
-           "Trace", "TraceWriter"]
+           "ThreadedWorkloadDriver", "Trace", "TraceWriter"]

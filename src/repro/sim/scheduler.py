@@ -33,9 +33,12 @@ for the detector's pruning.
 from __future__ import annotations
 
 import heapq
+import itertools
 import random
+import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.core.types import BuuId, Key, Operation, OpType
 from repro.sim.buu import Buu
@@ -399,3 +402,168 @@ class Simulator:
                 self.now = max(self.now + 1, self._apply_heap[0][0])
             else:
                 break
+
+
+class ThreadedWorkloadDriver:
+    """Execute BUUs on N *real* OS threads against a shared store.
+
+    Where :class:`Simulator` interleaves logical workers under a seeded
+    RNG, this driver produces genuine concurrency: each thread runs its
+    share of the BUU list against one shared dict with no isolation, so
+    the anomalies the monitor sees come from actual races.  It exists to
+    drive the concurrent monitoring service
+    (:class:`~repro.core.concurrent.RushMonService`) — or any listener
+    implementing the simulator's protocol — from many threads at once.
+
+    Two invariants make the emitted operation stream a valid collector
+    input:
+
+    - **Per-key visibility order.**  Store access and listener
+      notification for a key happen atomically under a striped per-key
+      lock, so every listener observes the operations on one key in the
+      exact order the store applied them (the §2.1 contract).  Keys in
+      different stripes proceed fully in parallel.
+    - **Lifecycle order.**  ``begin`` precedes all of a BUU's operations
+      and ``commit`` follows its last write (thread program order), which
+      is what detector pruning assumes.
+
+    ``seq`` values come from one atomic global counter; they are
+    monotone per key and per BUU but are *not* a serialization of the
+    whole run — the service re-stamps events with journal tickets, and
+    the serial :class:`~repro.core.monitor.RushMon` only requires per-key
+    order.
+
+    ``yield_every`` forces a ``time.sleep(0)`` context-switch point on
+    average every that-many operations (per-thread seeded RNG), widening
+    the space of interleavings the GIL would otherwise make coarse —
+    useful for stress tests hunting ordering bugs.
+    """
+
+    def __init__(
+        self,
+        listeners: Iterable[Any] | None = None,
+        num_threads: int = 4,
+        store: dict[Key, Any] | None = None,
+        lock_stripes: int = 64,
+        seed: int = 0,
+        yield_every: int | None = None,
+        join_timeout: float = 120.0,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if lock_stripes < 1:
+            raise ValueError("lock_stripes must be >= 1")
+        if yield_every is not None and yield_every < 1:
+            raise ValueError("yield_every must be >= 1 or None")
+        self.listeners = list(listeners or [])
+        self.num_threads = num_threads
+        self.store: dict[Key, Any] = store if store is not None else {}
+        self.seed = seed
+        self.yield_every = yield_every
+        self.join_timeout = join_timeout
+        self._stripes = [threading.Lock() for _ in range(lock_stripes)]
+        self._ids = itertools.count()
+        self._clock = itertools.count(1)
+        self._counter_lock = threading.Lock()
+        self.buus_completed = 0
+        self.ops_emitted = 0
+
+    def subscribe(self, listener: Any) -> None:
+        self.listeners.append(listener)
+
+    def _stripe(self, key: Key) -> threading.Lock:
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, buus: Iterable[Buu]) -> int:
+        """Round-robin ``buus`` across the threads, run them all, and
+        return the number completed.  Re-raises the first worker error;
+        raises ``RuntimeError`` if a thread fails to finish within
+        ``join_timeout`` seconds (deadlock guard)."""
+        batch: Sequence[Buu] = list(buus)
+        chunks = [batch[i::self.num_threads] for i in range(self.num_threads)]
+        errors: list[BaseException] = []
+        threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(chunk, self.seed ^ (index * 0x9E3779B1), errors),
+                name=f"workload-{index}",
+                daemon=True,
+            )
+            for index, chunk in enumerate(chunks)
+            if chunk
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + self.join_timeout
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"worker {thread.name} did not finish within "
+                    f"{self.join_timeout}s (deadlock?)"
+                )
+        if errors:
+            raise errors[0]
+        return len(batch)
+
+    def _worker(self, chunk: Sequence[Buu], seed: int,
+                errors: list[BaseException]) -> None:
+        rng = random.Random(seed)
+        yield_p = 1.0 / self.yield_every if self.yield_every else 0.0
+        completed = 0
+        ops = 0
+        try:
+            for buu in chunk:
+                ops += self._execute(buu, rng, yield_p)
+                completed += 1
+        except BaseException as exc:
+            errors.append(exc)
+        finally:
+            with self._counter_lock:
+                self.buus_completed += completed
+                self.ops_emitted += ops
+
+    def _execute(self, buu: Buu, rng: random.Random, yield_p: float) -> int:
+        buu_id = next(self._ids)
+        self._notify("begin_buu", buu_id, next(self._clock))
+        values: dict[Key, Any] = {}
+        ops = 0
+        for key in buu.reads:
+            with self._stripe(key):
+                values[key] = self.store.get(key)
+                self._notify_op(
+                    Operation(OpType.READ, buu_id, key, next(self._clock))
+                )
+            ops += 1
+            if yield_p and rng.random() < yield_p:
+                time.sleep(0)
+        for key, value in buu.run_compute(values).items():
+            with self._stripe(key):
+                if buu.additive:
+                    self.store[key] = (self.store.get(key) or 0) + value
+                else:
+                    self.store[key] = value
+                self._notify_op(
+                    Operation(OpType.WRITE, buu_id, key, next(self._clock))
+                )
+            ops += 1
+            if yield_p and rng.random() < yield_p:
+                time.sleep(0)
+        self._notify("commit_buu", buu_id, next(self._clock))
+        return ops
+
+    # -- listener fan-out -------------------------------------------------------
+
+    def _notify_op(self, op: Operation) -> None:
+        for listener in self.listeners:
+            handler = getattr(listener, "on_operation", None)
+            if handler is not None:
+                handler(op)
+
+    def _notify(self, method: str, buu: BuuId, when: int) -> None:
+        for listener in self.listeners:
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(buu, when)

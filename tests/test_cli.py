@@ -20,6 +20,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--knob", "magic"])
 
+    def test_quickstart_service_flags(self):
+        args = build_parser().parse_args(
+            ["quickstart", "--threads", "4", "--shards", "2",
+             "--detect-interval", "0.01"]
+        )
+        assert args.threads == 4
+        assert args.shards == 2
+        assert args.detect_interval == 0.01
+
+    def test_quickstart_serial_by_default(self):
+        assert build_parser().parse_args(["quickstart"]).threads == 0
+
+    def test_bench_threads_defaults(self):
+        args = build_parser().parse_args(["bench-threads"])
+        assert args.threads == "1,2,4,8"
+        assert args.shards == 16
+
 
 class TestCommands:
     def test_quickstart_runs(self, capsys):
@@ -74,6 +91,32 @@ class TestCommands:
                      "--latency", "0"]) == 0
         out = capsys.readouterr().out
         assert "total: 0 two-cycles, 0 three-cycles" in out
+
+
+class TestServiceCommands:
+    def test_quickstart_threaded_runs(self, capsys):
+        assert main(["quickstart", "--threads", "2", "--shards", "4",
+                     "--windows", "2", "--buus", "80", "--keys", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "threads: 2   shards: 4" in out
+        assert "est 2-cycles" in out
+        assert "total:" in out
+
+    def test_quickstart_threaded_single_thread(self, capsys):
+        assert main(["quickstart", "--threads", "1", "--windows", "1",
+                     "--buus", "50", "--keys", "8"]) == 0
+        assert "threads: 1" in capsys.readouterr().out
+
+    def test_bench_threads_runs_and_records(self, tmp_path, monkeypatch,
+                                            capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["bench-threads", "--threads", "1,2", "--buus", "120",
+                     "--keys", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "ops/sec" in out
+        assert "serial" in out
+        recorded = (tmp_path / "thread_scaling.txt").read_text()
+        assert "sharded" in recorded
 
 
 class TestCheckCommand:

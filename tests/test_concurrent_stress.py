@@ -1,0 +1,173 @@
+"""Concurrency stress tests for the sharded collector + service.
+
+The heavyweight test pushes 8 real threads x ~5k operations each through
+:class:`~repro.core.concurrent.RushMonService` with the interleaving
+recorder on, then checks the whole contract at once: no exceptions, no
+deadlock (join timeout), clean shutdown, every submitted event
+processed, and — the differential invariant — replaying the recorded
+serialized trace through the offline baseline reproduces the service's
+counts bit-exactly.  The interleaving itself is nondeterministic; the
+invariant must hold for *any* interleaving, and the recorder makes each
+run auditable after the fact.
+
+Marked ``stress`` so CI can rerun the module back-to-back (3 consecutive
+passes are required by the acceptance criteria).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.concurrent import RushMonService, ShardedCollector
+from repro.core.config import RushMonConfig
+from repro.core.monitor import OfflineAnomalyMonitor
+from repro.core.types import Operation, OpType
+from repro.sim.buu import read_modify_write
+from repro.sim.scheduler import ThreadedWorkloadDriver
+
+from tests.histgen import skewed_key
+
+pytestmark = pytest.mark.stress
+
+
+def _workload(num_buus, num_keys, touch, seed, skew=1.5):
+    rng = random.Random(seed)
+    return [
+        read_modify_write(
+            list({skewed_key(rng, num_keys, skew) for _ in range(touch)}),
+            lambda v: (v or 0) + 1,
+        )
+        for _ in range(num_buus)
+    ]
+
+
+def _run_stress(num_threads, ops_per_thread, num_keys, seed):
+    touch = 4  # 2 reads + 2 writes per key pair -> 8 ops per BUU
+    num_buus = num_threads * ops_per_thread // (2 * touch)
+    workload = _workload(num_buus, num_keys, touch, seed)
+    service = RushMonService(
+        RushMonConfig(sampling_rate=1, mob=False, pruning="both", seed=seed),
+        num_shards=8,
+        detect_interval=0.005,
+        record_trace=True,
+    )
+    driver = ThreadedWorkloadDriver(
+        [service], num_threads=num_threads, seed=seed,
+        yield_every=17, join_timeout=60.0,
+    )
+    with service:
+        driver.run(workload)
+    assert not service.running, "detection thread failed to stop"
+    return service, driver
+
+
+def _assert_differential(service, driver):
+    # Every submitted event reached the detector: ops + one begin and one
+    # commit per BUU.
+    expected_events = driver.ops_emitted + 2 * driver.buus_completed
+    assert service.processed_events == expected_events
+    assert service.collector.ops_seen == driver.ops_emitted
+
+    counts = service.counts()
+    replayed = OfflineAnomalyMonitor()
+    service.serialized_trace().replay([replayed])
+    assert replayed.exact_counts() == counts
+
+    # Window reports partition the cumulative counts exactly.
+    assert sum(r.raw.two_cycles for r in service.reports) == counts.two_cycles
+    assert sum(r.raw.three_cycles for r in service.reports) == counts.three_cycles
+    assert sum(r.operations for r in service.reports) == driver.ops_emitted
+
+
+def test_stress_8_threads_5k_ops():
+    """8 threads x ~5k ops with a hot key space: heavy shard contention,
+    many real anomalies, exact differential match."""
+    service, driver = _run_stress(num_threads=8, ops_per_thread=5000,
+                                  num_keys=512, seed=101)
+    _assert_differential(service, driver)
+    # With 8 unsynchronized writers on a skewed key space the run must
+    # actually produce anomalies — otherwise the stress is vacuous.
+    assert service.counts().two_cycles > 0
+
+
+def test_stress_small_shard_count():
+    """num_shards=1 degenerates to a single global lock — the ordering
+    invariants must not depend on shard granularity."""
+    workload = _workload(400, 32, 3, seed=7)
+    service = RushMonService(
+        RushMonConfig(sampling_rate=1, mob=False, seed=7),
+        num_shards=1, detect_interval=0.005, record_trace=True,
+    )
+    driver = ThreadedWorkloadDriver([service], num_threads=4, seed=7,
+                                    yield_every=5, join_timeout=60.0)
+    with service:
+        driver.run(workload)
+    _assert_differential(service, driver)
+
+
+def test_stress_sampled_and_mob():
+    """sr>1 + MOB under threads: no crashes, clean drain, events conserved
+    (counts are sampled, so no exactness claim — that is sr=1's job)."""
+    workload = _workload(600, 64, 4, seed=13)
+    service = RushMonService(
+        RushMonConfig(sampling_rate=4, mob=True, seed=13),
+        num_shards=8, detect_interval=0.005,
+    )
+    driver = ThreadedWorkloadDriver([service], num_threads=8, seed=13,
+                                    yield_every=11, join_timeout=60.0)
+    with service:
+        driver.run(workload)
+    assert service.processed_events == (
+        driver.ops_emitted + 2 * driver.buus_completed
+    )
+    e2, e3 = service.cumulative_estimates()
+    assert e2 >= 0.0 and e3 >= 0.0
+
+
+def test_raw_sharded_collector_hammer():
+    """Bypass the service: many threads hammering ShardedCollector
+    directly on overlapping keys must never corrupt shard state (edge
+    and op conservation)."""
+    collector = ShardedCollector(sampling_rate=1, mob=False, num_shards=4)
+    num_threads, per_thread = 8, 2000
+    errors = []
+
+    def worker(tid):
+        rng = random.Random(tid)
+        try:
+            for i in range(per_thread):
+                buu = tid * 1_000_000 + i
+                key = f"k{rng.randrange(64)}"
+                op = OpType.READ if rng.random() < 0.5 else OpType.WRITE
+                collector.handle(Operation(op, buu, key, i))
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,), daemon=True)
+               for t in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60.0)
+        assert not thread.is_alive(), "collector worker deadlocked"
+    assert not errors
+    assert collector.ops_seen == num_threads * per_thread
+    assert collector.touches == num_threads * per_thread
+    merged = collector.merged()
+    assert merged.touches == collector.touches
+    assert merged.num_items <= 64
+
+
+def test_service_stop_is_idempotent_and_drains():
+    """stop() after stop() is safe; late flush picks up stragglers."""
+    service = RushMonService(RushMonConfig(sampling_rate=1, mob=False))
+    service.start()
+    service.on_operation(Operation(OpType.WRITE, 1, "x", 1))
+    service.stop()
+    first = service.processed_events
+    assert first >= 1
+    service.stop()  # idempotent
+    service.on_operation(Operation(OpType.WRITE, 2, "x", 2))
+    service.flush()
+    assert service.processed_events == first + 1
