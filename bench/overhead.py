@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Runner for the monitoring-overhead harness.
+
+Usage:  python bench/overhead.py [--quick] [--buus N] [--threads N] ...
+
+Equivalent to ``PYTHONPATH=src python -m repro.bench.overhead``; this
+wrapper just makes the src layout importable when invoked from the repo
+root.  Results land in ``benchmarks/results/overhead.txt``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.overhead import main  # noqa: E402
+
+if __name__ == "__main__":
+    main()

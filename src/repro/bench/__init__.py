@@ -11,6 +11,7 @@ from repro.bench.harness import (
     scale,
 )
 from repro.bench.figures import render_loglog
+from repro.bench.overhead import run_overhead
 from repro.bench.reporting import emit, format_table, results_dir
 from repro.bench.threads import run_thread_scaling
 
@@ -27,5 +28,6 @@ __all__ = [
     "emit",
     "format_table",
     "results_dir",
+    "run_overhead",
     "run_thread_scaling",
 ]

@@ -103,7 +103,7 @@ def _service_quickstart(args: argparse.Namespace) -> int:
         for window in range(args.windows):
             driver.run(list(_counter_buus(args.buus, args.keys, args.touch,
                                           args.seed + window)))
-            report = service.flush()
+            report = service.close_window()
             if report is None:
                 continue
             top = max(report.patterns, key=report.patterns.get) \
@@ -127,7 +127,7 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
     for window in range(args.windows):
         sim.run(_counter_buus(args.buus, args.keys, args.touch,
                               args.seed + window))
-        report = monitor.report(sim.now)
+        report = monitor.close_window(sim.now)
         top = max(report.patterns, key=report.patterns.get) \
             if report.patterns else "-"
         print(f"{window:>6}  {report.operations:>4}  "
@@ -229,6 +229,113 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Run a monitored workload with live observability: the metrics
+    registry of the concurrent service, optionally exported over HTTP
+    (``--export-port``) and/or printed periodically (``--live``)."""
+    import threading
+    import time as _time
+
+    from repro.core.concurrent import RushMonService
+    from repro.obs import MetricsExporter
+    from repro.sim.scheduler import ThreadedWorkloadDriver
+
+    service = RushMonService(
+        RushMonConfig(sampling_rate=args.sampling_rate, mob=not args.no_mob,
+                      pruning=args.pruning, seed=args.seed),
+        num_shards=args.shards,
+        detect_interval=args.detect_interval,
+    )
+    exporter = None
+    if args.export_port is not None:
+        exporter = MetricsExporter(service.metrics, port=args.export_port)
+        exporter.start()
+        print(f"metrics exported at {exporter.url}/metrics "
+              f"(JSON at /metrics.json)")
+
+    driver = ThreadedWorkloadDriver([service], num_threads=args.threads,
+                                    seed=args.seed, yield_every=5)
+    workload = list(_counter_buus(args.buus, args.keys, args.touch, args.seed))
+
+    watched = [
+        "rushmon_collector_ops_total",
+        "rushmon_collector_edges_total",
+        "rushmon_service_events_processed_total",
+        "rushmon_service_passes_total",
+        "rushmon_detector_live_vertices",
+        "rushmon_service_report_age_seconds",
+    ]
+    try:
+        with service:
+            if args.live:
+                done = threading.Event()
+                worker = threading.Thread(
+                    target=lambda: (driver.run(workload), done.set()),
+                    daemon=True,
+                )
+                worker.start()
+                short = [n.replace("rushmon_", "") for n in watched]
+                print("  ".join(short))
+                while not done.wait(args.interval):
+                    snap = service.metrics.snapshot()
+                    cells = []
+                    for name, label in zip(watched, short):
+                        value = snap.get(name, 0)
+                        text = (f"{value:.6g}" if isinstance(value, float)
+                                else str(value))
+                        cells.append(text.rjust(len(label)))
+                    print("  ".join(cells))
+                worker.join()
+            else:
+                driver.run(workload)
+    finally:
+        if exporter is not None and not args.hold:
+            exporter.stop()
+
+    snap = service.metrics.snapshot()
+    if args.json:
+        print(service.metrics.render_json())
+    else:
+        print()
+        print("final metrics snapshot:")
+        for name in sorted(snap):
+            value = snap[name]
+            if isinstance(value, dict):
+                value = (f"count={value['count']} sum={value['sum']:.6g} "
+                         f"max={value['max']:.6g}")
+            print(f"  {name} = {value}")
+    report = service.latest_report()
+    if report is not None:
+        print(f"\nlast window: {report.operations} ops, "
+              f"est {report.estimated_2:.1f} two-cycles, "
+              f"{report.estimated_3:.1f} three-cycles")
+    if exporter is not None and args.hold:
+        print(f"\nholding exporter at {exporter.url}/metrics — Ctrl-C to stop")
+        try:
+            while True:
+                _time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            exporter.stop()
+    return 0
+
+
+def cmd_bench_overhead(args: argparse.Namespace) -> int:
+    """Run the monitored-vs-bare overhead harness."""
+    from repro.bench.overhead import run_overhead
+
+    rates = [int(v) for v in args.rates.split(",")]
+    if args.quick:
+        run_overhead(buus=300, keys=128, threads=2,
+                     sampling_rates=rates or (1, 20), repeats=1)
+    else:
+        run_overhead(buus=args.buus, keys=args.keys, threads=args.threads,
+                     sampling_rates=rates, repeats=args.repeats,
+                     num_shards=args.shards, seed=args.seed)
+    return 0
+
+
 def cmd_bench_threads(args: argparse.Namespace) -> int:
     """Run the serial vs. sharded thread-scaling benchmark."""
     from repro.bench.threads import run_thread_scaling
@@ -313,6 +420,49 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--shards", type=int, default=16)
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=cmd_bench_threads)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="run a monitored workload with live metrics "
+             "(optionally exported over HTTP)",
+    )
+    _add_monitor_args(mon)
+    mon.add_argument("--live", action="store_true",
+                     help="print a metrics snapshot every --interval seconds "
+                          "while the workload runs")
+    mon.add_argument("--json", action="store_true",
+                     help="print the final snapshot as JSON")
+    mon.add_argument("--interval", type=float, default=0.5,
+                     help="seconds between --live snapshots")
+    mon.add_argument("--export-port", type=int, default=None,
+                     help="serve Prometheus-style /metrics on this port "
+                          "(0 = ephemeral; off unless given)")
+    mon.add_argument("--hold", action="store_true",
+                     help="keep the exporter serving after the workload "
+                          "finishes (Ctrl-C to exit)")
+    mon.add_argument("--threads", type=int, default=4)
+    mon.add_argument("--shards", type=int, default=8)
+    mon.add_argument("--detect-interval", type=float, default=0.02)
+    mon.add_argument("--buus", type=int, default=2000)
+    mon.add_argument("--keys", type=int, default=64)
+    mon.add_argument("--touch", type=int, default=3)
+    mon.set_defaults(func=cmd_monitor)
+
+    over = sub.add_parser(
+        "bench-overhead",
+        help="monitored vs. bare wall time (the paper's overhead claim)",
+    )
+    over.add_argument("--quick", action="store_true",
+                      help="small workload for smoke runs")
+    over.add_argument("--buus", type=int, default=4000)
+    over.add_argument("--keys", type=int, default=1024)
+    over.add_argument("--threads", type=int, default=4)
+    over.add_argument("--repeats", type=int, default=3)
+    over.add_argument("--rates", default="1,4,20",
+                      help="comma-separated sampling rates")
+    over.add_argument("--shards", type=int, default=16)
+    over.add_argument("--seed", type=int, default=0)
+    over.set_defaults(func=cmd_bench_overhead)
 
     chk = sub.add_parser(
         "check", help="offline serializability check of a trace"

@@ -1,5 +1,6 @@
 """RushMon core: collectors, estimator, detector, pruning, monitor."""
 
+from repro.core.api import AnomalyMonitor, MonitorListener
 from repro.core.collector import (
     BaselineCollector,
     Collector,
@@ -58,6 +59,8 @@ from repro.core.types import (
 )
 
 __all__ = [
+    "AnomalyMonitor",
+    "MonitorListener",
     "BaselineCollector",
     "Collector",
     "CollectorShard",

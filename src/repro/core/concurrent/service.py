@@ -30,6 +30,7 @@ pass are processed on the next ``flush()``/``stop()``, never lost).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import replace
 from typing import Iterable
 
@@ -40,6 +41,8 @@ from repro.core.estimator import estimate_three_cycles, estimate_two_cycles
 from repro.core.monitor import WindowTracker
 from repro.core.pruning import make_pruner
 from repro.core.types import AnomalyReport, BuuId, CycleCounts, Key, Operation
+from repro.obs.instrument import instrument_detector
+from repro.obs.metrics import MetricsRegistry
 
 
 class RushMonService:
@@ -49,8 +52,12 @@ class RushMonService:
     ----------
     config:
         The usual :class:`~repro.core.config.RushMonConfig`.
-        ``resample_interval`` is ignored (unsupported in sharded mode —
-        see :mod:`repro.core.concurrent.sharded`).
+        ``resample_interval`` is **unsupported** in sharded mode (a
+        sample switch would need a stop-the-world drain on the hot path
+        — see :mod:`repro.core.concurrent.sharded`); passing one raises
+        ``ValueError`` rather than silently dropping the setting.  Use
+        the serial :class:`~repro.core.monitor.RushMon` for periodic
+        re-sampling.
     num_shards:
         Key-hash partitions of the collector (= write parallelism).
     detect_interval:
@@ -62,6 +69,14 @@ class RushMonService:
         Keep the serialized (ticket-ordered) trace of everything
         processed, for offline replay/auditing.  Costs memory linear in
         the event count; meant for tests and debugging.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to export into; a
+        private registry is created when omitted, so ``service.metrics``
+        is always live.  Exported signals: collector throughput and
+        lock wait (see :class:`ShardedCollector`), detection-pass
+        latency histogram, window close lag, drain duration, report
+        age, detection-thread liveness, and the detector's live-graph /
+        pruning readings.
     """
 
     def __init__(
@@ -72,11 +87,21 @@ class RushMonService:
         detect_interval: float = 0.05,
         items: Iterable[Key] | None = None,
         record_trace: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if detect_interval <= 0:
             raise ValueError("detect_interval must be > 0")
         self.config = config or RushMonConfig()
+        if self.config.resample_interval is not None:
+            raise ValueError(
+                "RushMonConfig.resample_interval is not supported by "
+                "RushMonService: switching the item sample atomically "
+                "would require a stop-the-world pause across every "
+                "shard.  Use the serial RushMon monitor, or set "
+                "resample_interval=None."
+            )
         self.detect_interval = detect_interval
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.collector = ShardedCollector(
             sampling_rate=self.config.sampling_rate,
             mob=self.config.mob,
@@ -84,6 +109,7 @@ class RushMonService:
             seed=self.config.seed,
             num_shards=num_shards,
             journal=True,
+            metrics=self.metrics,
         )
         self.detector = CycleDetector(
             pruner=make_pruner(self.config.pruning),
@@ -100,12 +126,64 @@ class RushMonService:
         self._clock = 0  # last processed ticket (the service's logical now)
         self.processed_events = 0
         self.passes = 0
+        self._latest_published_at: float | None = None
         if record_trace:
             from repro.sim.traces import Trace
 
             self._trace = Trace()
         else:
             self._trace = None
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Export the service's own health/progress signals."""
+        registry = self.metrics
+        self._m_pass_seconds = registry.histogram(
+            "rushmon_service_pass_seconds",
+            help="wall-clock duration of detection passes",
+        )
+        self._m_close_lag = registry.gauge(
+            "rushmon_service_window_close_lag_seconds",
+            help="duration of the last pass that closed a window "
+                 "(journal drain + detector feed + window close)",
+        )
+        self._m_drain = registry.gauge(
+            "rushmon_service_drain_seconds",
+            help="duration of the final drain pass run by stop()",
+        )
+        registry.gauge_fn(
+            "rushmon_service_events_processed_total",
+            lambda: float(self.processed_events),
+            help="journal events consumed by the detection path",
+        )
+        registry.gauge_fn(
+            "rushmon_service_passes_total",
+            lambda: float(self.passes),
+            help="detection passes run (including empty ones)",
+        )
+        registry.gauge_fn(
+            "rushmon_service_reports_total",
+            lambda: float(len(self.reports)),
+            help="monitoring windows closed and published",
+        )
+        registry.gauge_fn(
+            "rushmon_service_report_age_seconds",
+            self._report_age,
+            help="seconds since the last report was published "
+                 "(-1 before the first report)",
+        )
+        registry.gauge_fn(
+            "rushmon_service_detection_thread_alive",
+            lambda: 1.0 if self.running else 0.0,
+            help="1 while the background detection thread is running",
+        )
+        instrument_detector(registry, self.detector)
+
+    def _report_age(self) -> float:
+        published = self._latest_published_at
+        if published is None:
+            return -1.0
+        return time.monotonic() - published
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -129,7 +207,9 @@ class RushMonService:
             self._thread.join()
             self._thread = None
         if drain:
+            started = time.perf_counter()
             self._detect_pass()
+            self._m_drain.set(time.perf_counter() - started)
         self._raise_pending()
         return self._latest
 
@@ -179,6 +259,7 @@ class RushMonService:
         window.  Serialized by ``_pass_lock`` so an explicit ``flush()``
         cannot interleave with the background thread."""
         with self._pass_lock:
+            started = time.perf_counter()
             events = self.collector.drain_journal()
             for ticket, kind, payload, extra in events:
                 self._clock = ticket
@@ -201,6 +282,7 @@ class RushMonService:
                         self._trace.commits.append((payload, ticket))
             self.passes += 1
             if not events:
+                self._m_pass_seconds.observe(time.perf_counter() - started)
                 return None
             self.processed_events += len(events)
             report = self._window.close(
@@ -208,13 +290,32 @@ class RushMonService:
             )
             self.reports.append(report)
             self._latest = report  # atomic reference swap
+            self._latest_published_at = time.monotonic()
+            elapsed = time.perf_counter() - started
+            self._m_pass_seconds.observe(elapsed)
+            self._m_close_lag.set(elapsed)
             return report
 
-    def flush(self) -> AnomalyReport | None:
-        """Synchronously run one detection pass; returns the report of
-        the window it closed (None if no events were pending)."""
+    def close_window(self, now: int | None = None) -> AnomalyReport | None:
+        """Synchronously run one detection pass, closing the current
+        monitoring window; returns its report (``None`` if no events
+        were pending).  The canonical
+        :class:`~repro.core.api.AnomalyMonitor` verb.
+
+        ``now`` is accepted for protocol compatibility and ignored: the
+        service's clock is the journal ticket order, not caller time.
+        """
         self._raise_pending()
         return self._detect_pass()
+
+    def flush(self) -> AnomalyReport | None:
+        """Alias of :meth:`close_window`, kept for backward
+        compatibility.
+
+        .. deprecated:: use :meth:`close_window` — the verb every
+           monitor shares (see :mod:`repro.core.api`).
+        """
+        return self.close_window()
 
     # -- consumer-side views ---------------------------------------------------
 

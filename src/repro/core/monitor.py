@@ -8,6 +8,13 @@ Section 5.
 :class:`OfflineAnomalyMonitor` is the Section 4 baseline: full Algorithm 1
 collection into an explicit dependency graph, counted exactly after the
 fact.  It is the ground truth the benches compare against.
+
+Both (plus the concurrent :class:`~repro.core.concurrent.RushMonService`)
+implement the unified :class:`~repro.core.api.AnomalyMonitor` surface —
+``begin_buu``/``commit_buu``/``on_operation(s)`` for ingestion and
+``close_window()``/``latest_report()``/``reports``/
+``cumulative_estimates()`` for reporting — so drivers and callers never
+branch on monitor flavour.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ from repro.core.types import (
     Key,
     Operation,
 )
+from repro.obs.instrument import instrument_serial_monitor
+from repro.obs.metrics import MetricsRegistry
 
 
 class WindowTracker:
@@ -109,6 +118,7 @@ class RushMon:
         self,
         config: RushMonConfig | None = None,
         items: Iterable[Key] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or RushMonConfig()
         self.collector = DataCentricCollector(
@@ -126,6 +136,11 @@ class RushMon:
         self._window = WindowTracker(self.detector)
         self._now = 0
         self.reports: list[AnomalyReport] = []
+        # Observability is callback-only on the serial path (zero
+        # hot-path cost): every reading is pulled from existing counters
+        # at snapshot time.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        instrument_serial_monitor(self.metrics, self)
 
     # -- BUU lifecycle -------------------------------------------------------
 
@@ -166,12 +181,28 @@ class RushMon:
         p = self.sampling_probability
         return estimate_two_cycles(raw, p), estimate_three_cycles(raw, p)
 
-    def report(self, now: int | None = None) -> AnomalyReport:
-        """Close the current window and return its anomaly report."""
+    def close_window(self, now: int | None = None) -> AnomalyReport:
+        """Close the current monitoring window and return its anomaly
+        report.  The canonical :class:`~repro.core.api.AnomalyMonitor`
+        verb; the next window starts where this one ended."""
         end = self._time(now)
         rep = self._window.close(end, self.sampling_probability)
         self.reports.append(rep)
         return rep
+
+    def report(self, now: int | None = None) -> AnomalyReport:
+        """Alias of :meth:`close_window`, kept for backward
+        compatibility.
+
+        .. deprecated:: use :meth:`close_window` — the verb every
+           monitor shares (see :mod:`repro.core.api`).
+        """
+        return self.close_window(now)
+
+    def latest_report(self) -> AnomalyReport | None:
+        """The most recently closed window's report (``None`` if no
+        window has been closed yet)."""
+        return self.reports[-1] if self.reports else None
 
     def cumulative_estimates(self) -> tuple[float, float]:
         """Unbiased (E2, E3) over everything observed since construction."""
@@ -185,6 +216,14 @@ class OfflineAnomalyMonitor:
     graph; :meth:`exact_counts` runs the exact labelled cycle counter.
     Too slow for real-time use — which is the paper's premise — but the
     ground truth for every accuracy comparison.
+
+    Implements the full :class:`~repro.core.api.AnomalyMonitor` surface:
+    lifecycle events are recorded (the exact counter does not need them,
+    but drivers deliver one stream to every monitor flavour), and
+    :meth:`close_window` materializes an exact
+    :class:`~repro.core.types.AnomalyReport` for the cycles and
+    operations that arrived since the previous close (``estimated_`` ==
+    raw, since ``p = 1``).
     """
 
     def __init__(self) -> None:
@@ -194,8 +233,30 @@ class OfflineAnomalyMonitor:
 
         self.collector = BaselineCollector()
         self.graph = DependencyGraph()
+        self.reports: list[AnomalyReport] = []
+        self.begins: dict[BuuId, int] = {}
+        self.commits: dict[BuuId, int] = {}
+        self._now = 0
+        self._window_start = 0
+        self._window_ops = 0
+        self._counted = CycleCounts()
+        self._edges_snapshot = EdgeStats()
+
+    # -- ingestion (MonitorListener) -----------------------------------------
+
+    def begin_buu(self, buu: BuuId, start_time: int | None = None) -> None:
+        when = self._now if start_time is None else start_time
+        self.begins.setdefault(buu, when)
+        self._now = max(self._now, when)
+
+    def commit_buu(self, buu: BuuId, commit_time: int | None = None) -> None:
+        when = self._now if commit_time is None else commit_time
+        self.commits[buu] = when
+        self._now = max(self._now, when)
 
     def on_operation(self, op: Operation) -> None:
+        self._now = max(self._now, op.seq)
+        self._window_ops += 1
         for edge in self.collector.handle(op):
             self.graph.add_edge(edge)
 
@@ -203,7 +264,66 @@ class OfflineAnomalyMonitor:
         for op in ops:
             self.on_operation(op)
 
+    # -- exact counting --------------------------------------------------------
+
     def exact_counts(self) -> CycleCounts:
         from repro.graph.cycles import count_labelled_short_cycles
 
         return count_labelled_short_cycles(self.graph)
+
+    # -- reporting (AnomalyMonitor) --------------------------------------------
+
+    def close_window(self, now: int | None = None) -> AnomalyReport:
+        """Close the current window: exact cycle/edge/operation deltas
+        since the previous close, as an :class:`AnomalyReport`.
+
+        Runs the exact counter over the full graph (O(graph) — this is
+        the offline baseline; windowing exists for API parity, not
+        speed).
+        """
+        end = self._time(now)
+        cumulative = self.exact_counts()
+        raw = CycleCounts(
+            ss=cumulative.ss - self._counted.ss,
+            dd=cumulative.dd - self._counted.dd,
+            sss=cumulative.sss - self._counted.sss,
+            ssd=cumulative.ssd - self._counted.ssd,
+            ddd=cumulative.ddd - self._counted.ddd,
+        )
+        stats = self.collector.stats
+        edges = EdgeStats(
+            wr=stats.wr - self._edges_snapshot.wr,
+            ww=stats.ww - self._edges_snapshot.ww,
+            rw=stats.rw - self._edges_snapshot.rw,
+        )
+        rep = AnomalyReport(
+            window_start=self._window_start,
+            window_end=end,
+            estimated_2=float(raw.two_cycles),
+            estimated_3=float(raw.three_cycles),
+            raw=raw,
+            edges=edges,
+            operations=self._window_ops,
+        )
+        self.reports.append(rep)
+        self._counted = cumulative
+        self._edges_snapshot = stats.copy()
+        self._window_start = end
+        self._window_ops = 0
+        return rep
+
+    def latest_report(self) -> AnomalyReport | None:
+        """The most recently closed window's report (``None`` if none)."""
+        return self.reports[-1] if self.reports else None
+
+    def cumulative_estimates(self) -> tuple[float, float]:
+        """Exact lifetime (2-cycles, 3-cycles) as floats — the offline
+        baseline's "estimate" is the ground truth (``p = 1``)."""
+        counts = self.exact_counts()
+        return float(counts.two_cycles), float(counts.three_cycles)
+
+    def _time(self, explicit: int | None) -> int:
+        if explicit is not None:
+            self._now = max(self._now, explicit)
+            return explicit
+        return self._now

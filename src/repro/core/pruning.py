@@ -32,13 +32,31 @@ from repro.core.detector import LiveGraph
 
 class Pruner:
     """Base interface.  ``on_commit`` is the cheap per-commit fast path;
-    ``prune`` is the periodic full pass.  Both return vertices removed."""
+    ``prune`` is the periodic full pass.  Both return vertices removed.
+
+    Every pruner accumulates ``removed_total`` so observability
+    (:mod:`repro.obs`) can report pruning effectiveness per strategy;
+    :meth:`removed_by_strategy` returns the breakdown.
+    """
+
+    #: Strategy label used in the observability breakdown; subclasses
+    #: with a meaningful identity override it.
+    strategy: str | None = None
+
+    def __init__(self) -> None:
+        self.removed_total = 0
 
     def on_commit(self, graph: LiveGraph, buu: BuuId) -> int:
         return 0
 
     def prune(self, graph: LiveGraph, now: int) -> int:
         return 0
+
+    def removed_by_strategy(self) -> dict[str, int]:
+        """Lifetime vertices removed, keyed by strategy name."""
+        if self.strategy is None:
+            return {}
+        return {self.strategy: self.removed_total}
 
 
 class NoPruning(Pruner):
@@ -47,6 +65,8 @@ class NoPruning(Pruner):
 
 class EctPruning(Pruner):
     """Effective-commit-time pruning (§5.3, Fig 6)."""
+
+    strategy = "ect"
 
     # The paper additionally computes ect incrementally at each commit
     # ("when a BUU finishes ... compute ect_v").  At commit time
@@ -70,6 +90,7 @@ class EctPruning(Pruner):
             if ect.get(v, float("inf")) < t_active:
                 graph.remove_vertex(v)
                 removed += 1
+        self.removed_total += removed
         return removed
 
     def _exact_ect(self, graph: LiveGraph) -> dict[BuuId, float]:
@@ -104,7 +125,10 @@ class DistancePruning(Pruner):
     """Distance-based pruning: keep only vertices within ``hops`` of an
     alive vertex (forward direction), where ``hops = max_cycle_len - 1``."""
 
+    strategy = "distance"
+
     def __init__(self, max_cycle_length: int = 3) -> None:
+        super().__init__()
         if max_cycle_length < 2:
             raise ValueError("max_cycle_length must be >= 2")
         self.hops = max_cycle_length - 1
@@ -129,6 +153,7 @@ class DistancePruning(Pruner):
                 continue
             graph.remove_vertex(v)
             removed += 1
+        self.removed_total += removed
         return removed
 
 
@@ -136,6 +161,7 @@ class CombinedPruning(Pruner):
     """ECT pruning followed by distance pruning (the paper's "Both")."""
 
     def __init__(self, max_cycle_length: int = 3) -> None:
+        super().__init__()
         self.ect = EctPruning()
         self.distance = DistancePruning(max_cycle_length)
 
@@ -143,7 +169,15 @@ class CombinedPruning(Pruner):
         return self.ect.on_commit(graph, buu)
 
     def prune(self, graph: LiveGraph, now: int) -> int:
-        return self.ect.prune(graph, now) + self.distance.prune(graph, now)
+        removed = self.ect.prune(graph, now) + self.distance.prune(graph, now)
+        self.removed_total += removed
+        return removed
+
+    def removed_by_strategy(self) -> dict[str, int]:
+        return {
+            "ect": self.ect.removed_total,
+            "distance": self.distance.removed_total,
+        }
 
 
 def make_pruner(name: str, max_cycle_length: int = 3) -> Pruner:

@@ -1,0 +1,115 @@
+"""Opt-in HTTP exposition of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+:class:`MetricsExporter` runs a tiny threaded HTTP server on a
+background thread and serves two views of one registry:
+
+- ``GET /metrics``       — Prometheus text exposition (scrape target)
+- ``GET /metrics.json``  — the JSON snapshot (same payload the
+  ``repro monitor`` CLI view prints)
+
+The server binds ``127.0.0.1`` by default and picks an ephemeral port
+when ``port=0``, so tests and side-by-side services never collide.  It
+is strictly opt-in: nothing in the monitor constructs one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsExporter"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The registry is attached to the server instance by MetricsExporter.
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        registry: MetricsRegistry = self.server.registry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = registry.render_prometheus().encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path in ("/metrics.json", "/json"):
+            body = (json.dumps(registry.snapshot(), sort_keys=True) + "\n").encode()
+            content_type = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics or /metrics.json)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Scrapes must not spam the monitored application's stdout.
+        pass
+
+
+class MetricsExporter:
+    """Serve a registry over HTTP from a daemon thread.
+
+    >>> from repro.obs import MetricsRegistry, MetricsExporter
+    >>> registry = MetricsRegistry()
+    >>> _ = registry.counter("demo_total").inc()
+    >>> exporter = MetricsExporter(registry)   # port=0: pick a free port
+    >>> exporter.start().port > 0
+    True
+    >>> exporter.stop()
+    """
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "MetricsExporter":
+        """Bind and start serving (idempotent)."""
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        server.daemon_threads = True
+        server.registry = self.registry  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="rushmon-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join()
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("exporter is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.stop()

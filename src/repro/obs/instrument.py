@@ -1,0 +1,107 @@
+"""Wiring helpers: register RushMon component readings on a registry.
+
+Everything here is a zero-hot-path-cost callback gauge: the component's
+existing counters and structural properties are read lazily when a
+snapshot or scrape happens.  Components are duck-typed (this module must
+not import ``repro.core`` — core imports ``repro.obs``, and the metrics
+layer stays dependency-free).
+
+Real counters and histograms (shard lock wait, detection-pass latency)
+live inline where the measured code runs, in
+:mod:`repro.core.concurrent` — they need to observe *during* execution,
+not at snapshot time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "instrument_detector",
+    "instrument_serial_monitor",
+]
+
+#: Strategies the pruned-vertex breakdown is exported for.
+_PRUNE_STRATEGIES = ("ect", "distance")
+
+
+def instrument_detector(registry: MetricsRegistry, detector: Any) -> None:
+    """Export a :class:`~repro.core.detector.CycleDetector`'s live-graph
+    size, prune-pass count and per-strategy pruned-vertex totals."""
+    registry.gauge_fn(
+        "rushmon_detector_live_vertices",
+        lambda: float(detector.num_vertices),
+        help="vertices currently in the detector's live dependency graph",
+    )
+    registry.gauge_fn(
+        "rushmon_detector_live_edges",
+        lambda: float(detector.num_edges),
+        help="edges currently in the detector's live dependency graph",
+    )
+    registry.gauge_fn(
+        "rushmon_detector_prune_passes_total",
+        lambda: float(detector.prune_passes),
+        help="periodic pruning passes run by the detector",
+    )
+    registry.gauge_fn(
+        "rushmon_detector_cycles_total",
+        lambda: float(
+            detector.counts.two_cycles + detector.counts.three_cycles
+        ),
+        help="sampled 2-/3-cycles counted since construction",
+    )
+    pruner = getattr(detector, "pruner", None)
+    if pruner is None or not hasattr(pruner, "removed_by_strategy"):
+        return
+    for strategy in _PRUNE_STRATEGIES:
+        registry.gauge_fn(
+            f"rushmon_detector_pruned_{strategy}_total",
+            lambda s=strategy: float(
+                pruner.removed_by_strategy().get(s, 0)
+            ),
+            help=f"vertices removed by {strategy} pruning since construction",
+        )
+
+
+def instrument_serial_monitor(registry: MetricsRegistry, monitor: Any) -> None:
+    """Export the serial :class:`~repro.core.monitor.RushMon` facade:
+    collector throughput/hit-rate plus the detector readings.
+
+    Everything is callback-backed, so attaching a registry adds *zero*
+    work to the serial hot path — the paper's overhead story is the
+    collector's, and the serial monitor keeps it untouched.
+    """
+    collector = monitor.collector
+
+    def hit_rate() -> float:
+        seen = collector.ops_seen
+        return (collector.touches / seen) if seen else 0.0
+
+    registry.gauge_fn(
+        "rushmon_collector_ops_total",
+        lambda: float(collector.ops_seen),
+        help="operations the collector has observed",
+    )
+    registry.gauge_fn(
+        "rushmon_collector_sampled_ops_total",
+        lambda: float(collector.touches),
+        help="operations that performed bookkeeping (sampled-item hits)",
+    )
+    registry.gauge_fn(
+        "rushmon_collector_sampled_hit_rate",
+        hit_rate,
+        help="fraction of observed operations that hit a sampled item",
+    )
+    registry.gauge_fn(
+        "rushmon_collector_edges_total",
+        lambda: float(collector.stats.total),
+        help="dependency edges emitted by the collector",
+    )
+    registry.gauge_fn(
+        "rushmon_monitor_reports_total",
+        lambda: float(len(monitor.reports)),
+        help="monitoring windows closed so far",
+    )
+    instrument_detector(registry, monitor.detector)

@@ -28,6 +28,11 @@ stream the paper's collector observes inside the storage layer.  BUU
 ``begin``/``commit`` events are forwarded too (commit fires when the
 BUU's last write becomes visible, the paper's definition of commit time),
 for the detector's pruning.
+
+Listeners are typed against the
+:class:`~repro.core.api.MonitorListener` protocol; dispatch remains
+``getattr``-based so partial listeners (e.g. metrics probes that only
+care about operations) keep working.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.core.api import MonitorListener
 from repro.core.types import BuuId, Key, Operation, OpType
 from repro.sim.buu import Buu
 
@@ -132,11 +138,11 @@ class Simulator:
         self,
         config: SimConfig,
         store: dict[Key, Any] | None = None,
-        listeners: Iterable[Any] | None = None,
+        listeners: Iterable[MonitorListener] | None = None,
     ) -> None:
         self.config = config
         self.store: dict[Key, Any] = store if store is not None else {}
-        self.listeners = list(listeners or [])
+        self.listeners: list[MonitorListener] = list(listeners or [])
         self._rng = random.Random(config.seed)
         self._workers = [_WorkerState(i) for i in range(config.num_workers)]
         # (apply_time, tiebreak, buu, key, value, worker index, additive)
@@ -157,7 +163,7 @@ class Simulator:
 
     # -- listener fan-out ------------------------------------------------------
 
-    def subscribe(self, listener: Any) -> None:
+    def subscribe(self, listener: MonitorListener) -> None:
         self.listeners.append(listener)
 
     def _notify_op(self, op: Operation) -> None:
@@ -441,7 +447,7 @@ class ThreadedWorkloadDriver:
 
     def __init__(
         self,
-        listeners: Iterable[Any] | None = None,
+        listeners: Iterable[MonitorListener] | None = None,
         num_threads: int = 4,
         store: dict[Key, Any] | None = None,
         lock_stripes: int = 64,
@@ -455,7 +461,7 @@ class ThreadedWorkloadDriver:
             raise ValueError("lock_stripes must be >= 1")
         if yield_every is not None and yield_every < 1:
             raise ValueError("yield_every must be >= 1 or None")
-        self.listeners = list(listeners or [])
+        self.listeners: list[MonitorListener] = list(listeners or [])
         self.num_threads = num_threads
         self.store: dict[Key, Any] = store if store is not None else {}
         self.seed = seed
@@ -468,7 +474,7 @@ class ThreadedWorkloadDriver:
         self.buus_completed = 0
         self.ops_emitted = 0
 
-    def subscribe(self, listener: Any) -> None:
+    def subscribe(self, listener: MonitorListener) -> None:
         self.listeners.append(listener)
 
     def _stripe(self, key: Key) -> threading.Lock:

@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 from typing import IO, Iterable
 
+from repro.core.api import MonitorListener
 from repro.core.types import Operation, OpType
 
 
@@ -32,11 +33,15 @@ class TraceWriter:
         self._write({"t": "op", "op": op.op.value, "buu": op.buu,
                      "key": op.key, "seq": op.seq})
 
-    def begin_buu(self, buu: int, time: int) -> None:
-        self._write({"t": "begin", "buu": buu, "time": time})
+    def on_operations(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.on_operation(op)
 
-    def commit_buu(self, buu: int, time: int) -> None:
-        self._write({"t": "commit", "buu": buu, "time": time})
+    def begin_buu(self, buu: int, time: int | None = None) -> None:
+        self._write({"t": "begin", "buu": buu, "time": time or 0})
+
+    def commit_buu(self, buu: int, time: int | None = None) -> None:
+        self._write({"t": "commit", "buu": buu, "time": time or 0})
 
     def _write(self, record: dict) -> None:
         self._handle.write(json.dumps(record) + "\n")
@@ -56,11 +61,15 @@ class Trace:
     def on_operation(self, op: Operation) -> None:
         self.ops.append(op)
 
-    def begin_buu(self, buu: int, time: int) -> None:
-        self.begins.append((buu, time))
+    def on_operations(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.on_operation(op)
 
-    def commit_buu(self, buu: int, time: int) -> None:
-        self.commits.append((buu, time))
+    def begin_buu(self, buu: int, time: int | None = None) -> None:
+        self.begins.append((buu, time or 0))
+
+    def commit_buu(self, buu: int, time: int | None = None) -> None:
+        self.commits.append((buu, time or 0))
 
     # -- persistence ----------------------------------------------------------
 
@@ -105,7 +114,7 @@ class Trace:
 
     # -- replay ---------------------------------------------------------------
 
-    def replay(self, listeners: Iterable) -> None:
+    def replay(self, listeners: Iterable[MonitorListener]) -> None:
         """Deliver the trace's events, in time order, to listeners that
         implement the simulator's listener protocol."""
         events: list[tuple[int, int, str, object]] = []

@@ -1,0 +1,139 @@
+"""Shared conformance tests for the unified AnomalyMonitor surface.
+
+One parametrized suite drives the serial :class:`RushMon`, the
+concurrent :class:`RushMonService` (unstarted — ``close_window`` runs
+the detection pass inline) and the exact
+:class:`OfflineAnomalyMonitor` through the *protocol only*: lifecycle
+events, operations, window closes, report access.  If a monitor flavour
+drifts from the contract in :mod:`repro.core.api`, this file is where
+it fails.
+"""
+
+import pytest
+
+from repro.core.api import AnomalyMonitor, MonitorListener
+from repro.core.concurrent import RushMonService
+from repro.core.config import RushMonConfig
+from repro.core.monitor import OfflineAnomalyMonitor, RushMon
+from repro.core.types import AnomalyReport, Operation, OpType
+
+
+def _serial():
+    return RushMon(RushMonConfig(sampling_rate=1, mob=False))
+
+
+def _service():
+    # Unstarted: no background thread; close_window() drains inline.
+    return RushMonService(RushMonConfig(sampling_rate=1, mob=False))
+
+
+def _offline():
+    return OfflineAnomalyMonitor()
+
+
+MONITORS = [
+    pytest.param(_serial, id="serial"),
+    pytest.param(_service, id="service"),
+    pytest.param(_offline, id="offline"),
+]
+
+
+def _lost_update(monitor):
+    """The classic lost update — one ss 2-cycle — through the protocol."""
+    monitor.begin_buu(1, 0)
+    monitor.begin_buu(2, 0)
+    monitor.on_operations([
+        Operation(OpType.READ, 1, "x", 1),
+        Operation(OpType.READ, 2, "x", 2),
+    ])
+    monitor.on_operation(Operation(OpType.WRITE, 1, "x", 3))
+    monitor.on_operation(Operation(OpType.WRITE, 2, "x", 4))
+    monitor.commit_buu(1, 5)
+    monitor.commit_buu(2, 5)
+
+
+@pytest.mark.parametrize("make", MONITORS)
+def test_satisfies_protocols(make):
+    monitor = make()
+    assert isinstance(monitor, MonitorListener)
+    assert isinstance(monitor, AnomalyMonitor)
+
+
+@pytest.mark.parametrize("make", MONITORS)
+def test_fresh_monitor_has_no_reports(make):
+    monitor = make()
+    assert monitor.reports == []
+    assert monitor.latest_report() is None
+
+
+@pytest.mark.parametrize("make", MONITORS)
+def test_lost_update_detected_through_protocol_only(make):
+    monitor = make()
+    _lost_update(monitor)
+    report = monitor.close_window()
+    assert isinstance(report, AnomalyReport)
+    assert report.estimated_2 == 1.0  # p = 1: estimate is exact
+    assert report.operations == 4
+    assert monitor.reports == [report]
+    assert monitor.latest_report() is report
+    e2, _ = monitor.cumulative_estimates()
+    assert e2 == 1.0
+
+
+@pytest.mark.parametrize("make", MONITORS)
+def test_windows_partition_the_stream(make):
+    monitor = make()
+    _lost_update(monitor)
+    first = monitor.close_window()
+    # Second window: no conflicts at all.
+    monitor.begin_buu(10, 6)
+    monitor.on_operation(Operation(OpType.WRITE, 10, "y", 7))
+    monitor.commit_buu(10, 8)
+    second = monitor.close_window()
+    assert first.estimated_2 == 1.0
+    assert second.estimated_2 == 0.0
+    assert second.operations == 1
+    assert len(monitor.reports) == 2
+    assert monitor.latest_report() is second
+    # Cumulative view still sees everything.
+    assert monitor.cumulative_estimates()[0] == 1.0
+
+
+def test_serial_report_alias_matches_close_window():
+    """RushMon.report() is a documented thin alias of close_window()."""
+    monitor = _serial()
+    _lost_update(monitor)
+    report = monitor.report()
+    assert monitor.reports == [report]
+    assert report.estimated_2 == 1.0
+
+
+def test_service_flush_alias_matches_close_window():
+    """RushMonService.flush() is a documented thin alias of close_window()."""
+    service = _service()
+    _lost_update(service)
+    report = service.flush()
+    assert report is not None
+    assert service.reports == [report]
+    assert report.estimated_2 == 1.0
+
+
+def test_service_rejects_resample_interval():
+    """The service must refuse — not silently drop — the serial-only
+    resample_interval knob (it cannot re-pick items across shards)."""
+    with pytest.raises(ValueError, match="resample_interval"):
+        RushMonService(RushMonConfig(sampling_rate=4, resample_interval=100))
+
+
+def test_drivers_accept_any_monitor_flavour():
+    """The threaded driver types against MonitorListener; all three
+    flavours slot in without branching."""
+    from repro.sim.scheduler import ThreadedWorkloadDriver
+
+    monitors = [_serial(), _offline()]
+    driver = ThreadedWorkloadDriver(monitors, num_threads=1, seed=0)
+    from repro.sim.buu import read_modify_write
+
+    driver.run([read_modify_write(["a", "b"], lambda v: (v or 0) + 1)])
+    for monitor in monitors:
+        assert monitor.close_window().operations == 4

@@ -79,6 +79,20 @@ def _assert_differential(service, driver):
     assert sum(r.raw.three_cycles for r in service.reports) == counts.three_cycles
     assert sum(r.operations for r in service.reports) == driver.ops_emitted
 
+    # The observability snapshot reconciles exactly with the service's
+    # own counters: metrics are a second bookkeeping path over the same
+    # events, so after drain any disagreement is a lost update.
+    snap = service.metrics.snapshot()
+    assert snap["rushmon_service_events_processed_total"] == \
+        service.processed_events
+    assert snap["rushmon_service_passes_total"] == service.passes
+    assert snap["rushmon_service_reports_total"] == len(service.reports)
+    assert snap["rushmon_service_pass_seconds"]["count"] == service.passes
+    assert snap["rushmon_collector_ops_total"] == driver.ops_emitted
+    assert snap["rushmon_collector_lifecycle_events_total"] == \
+        2 * driver.buus_completed
+    assert snap["rushmon_collector_edges_total"] == service.collector.stats.total
+
 
 def test_stress_8_threads_5k_ops():
     """8 threads x ~5k ops with a hot key space: heavy shard contention,
