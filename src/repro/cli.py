@@ -232,7 +232,12 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_monitor(args: argparse.Namespace) -> int:
     """Run a monitored workload with live observability: the metrics
     registry of the concurrent service, optionally exported over HTTP
-    (``--export-port``) and/or printed periodically (``--live``)."""
+    (``--export-port``) and/or printed periodically (``--live``).
+
+    Ctrl-C is a graceful shutdown, not a crash: the service is stopped
+    (draining the final window), the final metrics snapshot and report
+    are printed, and the process exits 0.
+    """
     import threading
     import time as _time
 
@@ -245,6 +250,9 @@ def cmd_monitor(args: argparse.Namespace) -> int:
                       pruning=args.pruning, seed=args.seed),
         num_shards=args.shards,
         detect_interval=args.detect_interval,
+        journal_capacity=args.journal_capacity,
+        overflow=args.overflow,
+        max_restarts=args.max_restarts,
     )
     exporter = None
     if args.export_port is not None:
@@ -252,10 +260,6 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         exporter.start()
         print(f"metrics exported at {exporter.url}/metrics "
               f"(JSON at /metrics.json)")
-
-    driver = ThreadedWorkloadDriver([service], num_threads=args.threads,
-                                    seed=args.seed, yield_every=5)
-    workload = list(_counter_buus(args.buus, args.keys, args.touch, args.seed))
 
     watched = [
         "rushmon_collector_ops_total",
@@ -265,31 +269,50 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         "rushmon_detector_live_vertices",
         "rushmon_service_report_age_seconds",
     ]
+    interrupted = False
     try:
-        with service:
-            if args.live:
-                done = threading.Event()
-                worker = threading.Thread(
-                    target=lambda: (driver.run(workload), done.set()),
-                    daemon=True,
-                )
-                worker.start()
-                short = [n.replace("rushmon_", "") for n in watched]
-                print("  ".join(short))
-                while not done.wait(args.interval):
-                    snap = service.metrics.snapshot()
-                    cells = []
-                    for name, label in zip(watched, short):
-                        value = snap.get(name, 0)
-                        text = (f"{value:.6g}" if isinstance(value, float)
-                                else str(value))
-                        cells.append(text.rjust(len(label)))
-                    print("  ".join(cells))
-                worker.join()
-            else:
-                driver.run(workload)
+        # Workload construction is interruptible too (it dominates
+        # startup for large --buus), so it lives inside the handler.
+        driver = ThreadedWorkloadDriver([service], num_threads=args.threads,
+                                        seed=args.seed, yield_every=5)
+        workload = list(
+            _counter_buus(args.buus, args.keys, args.touch, args.seed)
+        )
+        service.start()
+        if args.live:
+            done = threading.Event()
+
+            def _drive() -> None:
+                try:
+                    driver.run(workload)
+                except Exception:
+                    pass  # service stopped mid-run (Ctrl-C shutdown)
+                finally:
+                    done.set()
+
+            worker = threading.Thread(target=_drive, daemon=True)
+            worker.start()
+            short = [n.replace("rushmon_", "") for n in watched]
+            print("  ".join(short))
+            while not done.wait(args.interval):
+                snap = service.metrics.snapshot()
+                cells = []
+                for name, label in zip(watched, short):
+                    value = snap.get(name, 0)
+                    text = (f"{value:.6g}" if isinstance(value, float)
+                            else str(value))
+                    cells.append(text.rjust(len(label)))
+                print("  ".join(cells))
+            worker.join()
+        else:
+            driver.run(workload)
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\ninterrupted — stopping service and draining the final "
+              "window")
     finally:
-        if exporter is not None and not args.hold:
+        service.stop()
+        if exporter is not None and (interrupted or not args.hold):
             exporter.stop()
 
     snap = service.metrics.snapshot()
@@ -309,6 +332,8 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         print(f"\nlast window: {report.operations} ops, "
               f"est {report.estimated_2:.1f} two-cycles, "
               f"{report.estimated_3:.1f} three-cycles")
+    if interrupted:
+        return 0
     if exporter is not None and args.hold:
         print(f"\nholding exporter at {exporter.url}/metrics — Ctrl-C to stop")
         try:
@@ -443,6 +468,16 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--threads", type=int, default=4)
     mon.add_argument("--shards", type=int, default=8)
     mon.add_argument("--detect-interval", type=float, default=0.02)
+    mon.add_argument("--journal-capacity", type=int, default=None,
+                     help="bound the detection journal to this many "
+                          "buffered events (unbounded when omitted)")
+    mon.add_argument("--overflow", default="block",
+                     choices=["block", "shed", "degrade"],
+                     help="what producers experience when the bounded "
+                          "journal is full")
+    mon.add_argument("--max-restarts", type=int, default=5,
+                     help="consecutive detection failures before the "
+                          "circuit breaker marks the service DEGRADED")
     mon.add_argument("--buus", type=int, default=2000)
     mon.add_argument("--keys", type=int, default=64)
     mon.add_argument("--touch", type=int, default=3)

@@ -223,6 +223,26 @@ class ItemSampler:
         mixed = _splitmix64(digest ^ (self._salt * 0x9E3779B97F4A7C15))
         return mixed % self.sampling_rate == 0
 
+    # -- checkpoint support ----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-friendly snapshot; keys must be JSON-serializable."""
+        return {
+            "sampling_rate": self.sampling_rate,
+            "salt": self._salt,
+            "universe": self._universe,
+            "chosen": None if self._chosen is None else sorted(
+                self._chosen, key=repr
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.sampling_rate = state["sampling_rate"]
+        self._salt = state["salt"]
+        self._universe = state["universe"]
+        chosen = state["chosen"]
+        self._chosen = None if chosen is None else set(chosen)
+
 
 class CollectorShard:
     """Mergeable per-shard bookkeeping for data-centric collection.
@@ -278,6 +298,59 @@ class CollectorShard:
         """Drop all per-item state (sample switches, §5.1)."""
         self._mob_items.clear()
         self._full_items.clear()
+
+    def drop_item(self, key: Key) -> None:
+        """Forget one item's bookkeeping (degrade-mode exclusion): the
+        next operation on the key warms up from scratch, exactly as a
+        sample switch would, instead of deriving edges from stale state."""
+        self._mob_items.pop(key, None)
+        self._full_items.pop(key, None)
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-friendly snapshot of every counter, item table and the
+        MOB reservoir RNG (so a restored shard's reservoir decisions —
+        and hence its sampled counts — continue deterministically).
+        Item keys and BUU ids must be JSON-serializable."""
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "mob": self.mob,
+            "mob_slots": self.mob_slots,
+            "stats": self.stats.as_dict(),
+            "touches": self.touches,
+            "total_reads": self.total_reads,
+            "discarded_reads": self.discarded_reads,
+            "rng": [version, list(internal), gauss_next],
+            "mob_items": [
+                [key, s.last_write, s.reads, s.count]
+                for key, s in self._mob_items.items()
+            ],
+            "full_items": [
+                [key, s.last_write, sorted(s.read_ids)]
+                for key, s in self._full_items.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inverse of :meth:`to_state` (onto a fresh shard)."""
+        self.mob = state["mob"]
+        self.mob_slots = state["mob_slots"]
+        stats = state["stats"]
+        self.stats = EdgeStats(stats["wr"], stats["ww"], stats["rw"])
+        self.touches = state["touches"]
+        self.total_reads = state["total_reads"]
+        self.discarded_reads = state["discarded_reads"]
+        version, internal, gauss_next = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+        self._mob_items = {
+            key: _MobItemState(last_write, list(reads), count)
+            for key, last_write, reads, count in state["mob_items"]
+        }
+        self._full_items = {
+            key: _FullItemState(last_write, set(read_ids))
+            for key, last_write, read_ids in state["full_items"]
+        }
 
     def merge(self, other: "CollectorShard") -> None:
         """Absorb another shard covering a *disjoint* key range."""

@@ -8,12 +8,17 @@ This package makes the monitor safe under real threads:
   disjoint keys never contend; an optional ticket-ordered journal
   records the serialized execution.
 - :class:`RushMonService` — runs the pruned cycle detector on a
-  background thread at a configurable window interval and publishes
-  each window's :class:`~repro.core.types.AnomalyReport` via an atomic
-  snapshot, with graceful ``start()``/``stop()`` drain semantics.
+  *supervised* background thread (restart with exponential backoff, a
+  circuit breaker into an explicit DEGRADED state) at a configurable
+  window interval and publishes each window's
+  :class:`~repro.core.types.AnomalyReport` via an atomic snapshot, with
+  graceful ``start()``/``stop()`` drain semantics and
+  checkpoint/restore crash recovery.
+- :class:`JournalBackpressure` — raised to producers when the bounded
+  journal stays full past the block timeout (``overflow="block"``).
 """
 
 from repro.core.concurrent.service import RushMonService
-from repro.core.concurrent.sharded import ShardedCollector
+from repro.core.concurrent.sharded import JournalBackpressure, ShardedCollector
 
-__all__ = ["RushMonService", "ShardedCollector"]
+__all__ = ["JournalBackpressure", "RushMonService", "ShardedCollector"]

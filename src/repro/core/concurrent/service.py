@@ -16,22 +16,49 @@ Because the detector consumes events in ticket order, the detection path
 is literally a serial RushMon replay of the serialized trace; the only
 concurrency-sensitive code is the sharded collector, whose per-key
 bookkeeping order matches the ticket order by construction.  That is the
-invariant the differential and stress tests pin: at ``sr=1`` the service
-must report exactly what :class:`~repro.core.monitor.OfflineAnomalyMonitor`
-computes from the recorded serialized trace.
+invariant the differential, stress and chaos tests pin: at ``sr=1`` the
+service must report exactly what
+:class:`~repro.core.monitor.OfflineAnomalyMonitor` computes from the
+recorded serialized trace — for every event the collector acknowledged.
 
-Drain semantics: ``stop()`` joins the detection thread and runs one
-final detection pass, so every event submitted *before* ``stop()`` was
-called is reflected in the final counts.  Producers must stop submitting
-before calling ``stop()`` (events submitted concurrently with the final
-pass are processed on the next ``flush()``/``stop()``, never lost).
+Fault tolerance
+---------------
+
+The detection thread is **supervised**: an exception in a detection pass
+is caught, logged and counted, the unconsumed suffix of the drained
+batch is re-queued (nothing acknowledged is lost), and a replacement
+thread is spawned after an exponential backoff
+(``restart_backoff * 2**(failures-1)``, capped at ``max_backoff``).  A
+*completed* pass resets the failure streak; ``max_restarts`` consecutive
+failures trip a circuit breaker: the service enters an explicit
+``DEGRADED`` state — visible in :meth:`latest_report` (``health ==
+"degraded"``), in :meth:`health`, and as ``rushmon_service_degraded 1``
+on ``/metrics`` — and the collector switches its overflow policy to
+``shed`` so producers can never block on a detector that is not coming
+back.  A degraded service keeps accepting (and shedding) events and
+keeps serving its last reports; it never silently pretends to monitor.
+
+Crash recovery: :meth:`checkpoint` persists the collector bookkeeping,
+pending journal, detector graph/counts and open-window state through
+:mod:`repro.storage.wal` (atomic write, CRC); :meth:`restore` rebuilds a
+service from the file and resumes exactly where the snapshot was cut.
+``checkpoint_interval`` automates this every N detection passes.
+
+Lifecycle: ``stop()`` is **terminal and idempotent** — it joins the
+detection thread, runs one final drain pass (so every event acknowledged
+before ``stop()`` is reflected in the final counts) and freezes the
+service.  After ``stop()``, ingestion and ``close_window()`` raise
+``RuntimeError``; the report accessors keep working.  A service that was
+never started still supports inline ``close_window()`` (the serial-style
+usage the API-conformance tests exercise).
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
-from dataclasses import replace
+from dataclasses import asdict, replace
 from typing import Iterable
 
 from repro.core.concurrent.sharded import EV_BEGIN, EV_COMMIT, EV_OP, ShardedCollector
@@ -43,10 +70,13 @@ from repro.core.pruning import make_pruner
 from repro.core.types import AnomalyReport, BuuId, CycleCounts, Key, Operation
 from repro.obs.instrument import instrument_detector
 from repro.obs.metrics import MetricsRegistry
+from repro.storage import wal
+
+_log = logging.getLogger(__name__)
 
 
 class RushMonService:
-    """Thread-safe RushMon monitor with background windowed detection.
+    """Thread-safe RushMon monitor with supervised background detection.
 
     Parameters
     ----------
@@ -69,14 +99,31 @@ class RushMonService:
         Keep the serialized (ticket-ordered) trace of everything
         processed, for offline replay/auditing.  Costs memory linear in
         the event count; meant for tests and debugging.
+    journal_capacity / overflow / block_timeout:
+        Bounded-journal backpressure, forwarded to
+        :class:`ShardedCollector` (see its docstring for the ``block`` /
+        ``shed`` / ``degrade`` policies).
+    max_restarts:
+        Consecutive detection-pass failures tolerated before the circuit
+        breaker trips and the service goes ``DEGRADED``.
+    restart_backoff / max_backoff:
+        Exponential-backoff schedule for detection-thread restarts.
+    checkpoint_path / checkpoint_interval:
+        When both are set, a checkpoint is written to ``checkpoint_path``
+        every ``checkpoint_interval`` detection passes (and once more on
+        ``stop()``).  :meth:`checkpoint` is always available manually.
+    faults:
+        Optional :class:`~repro.testing.faults.FaultInjector`; arms the
+        ``detect.pass`` / ``detect.process`` points here and the
+        collector's points (chaos tests only — with no injector the
+        pipeline pays a single ``is None`` check).
     metrics:
         A :class:`~repro.obs.metrics.MetricsRegistry` to export into; a
         private registry is created when omitted, so ``service.metrics``
-        is always live.  Exported signals: collector throughput and
-        lock wait (see :class:`ShardedCollector`), detection-pass
-        latency histogram, window close lag, drain duration, report
-        age, detection-thread liveness, and the detector's live-graph /
-        pruning readings.
+        is always live.  Beyond the collector/detector signals, the
+        service exports pass latency, report age, thread liveness, and
+        the fault-tolerance set: failure/restart totals, the current
+        failure streak, checkpoint count and the ``degraded`` flag.
     """
 
     def __init__(
@@ -87,10 +134,30 @@ class RushMonService:
         detect_interval: float = 0.05,
         items: Iterable[Key] | None = None,
         record_trace: bool = False,
+        journal_capacity: int | None = None,
+        overflow: str = "block",
+        block_timeout: float = 5.0,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        checkpoint_path: str | None = None,
+        checkpoint_interval: int | None = None,
+        faults=None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if detect_interval <= 0:
             raise ValueError("detect_interval must be > 0")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if restart_backoff <= 0 or max_backoff <= 0:
+            raise ValueError("restart_backoff and max_backoff must be > 0")
+        if checkpoint_interval is not None:
+            if checkpoint_interval < 1:
+                raise ValueError("checkpoint_interval must be >= 1 passes")
+            if checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_interval needs a checkpoint_path to write to"
+                )
         self.config = config or RushMonConfig()
         if self.config.resample_interval is not None:
             raise ValueError(
@@ -101,7 +168,11 @@ class RushMonService:
                 "resample_interval=None."
             )
         self.detect_interval = detect_interval
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.max_backoff = max_backoff
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._faults = faults
         self.collector = ShardedCollector(
             sampling_rate=self.config.sampling_rate,
             mob=self.config.mob,
@@ -109,6 +180,10 @@ class RushMonService:
             seed=self.config.seed,
             num_shards=num_shards,
             journal=True,
+            journal_capacity=journal_capacity,
+            overflow=overflow,
+            block_timeout=block_timeout,
+            faults=faults,
             metrics=self.metrics,
         )
         self.detector = CycleDetector(
@@ -120,13 +195,24 @@ class RushMonService:
         self.reports: list[AnomalyReport] = []
         self._latest: AnomalyReport | None = None
         self._pass_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
         self._stop_event = threading.Event()
+        self._stopped = False
         self._thread: threading.Thread | None = None
-        self._error: BaseException | None = None
+        self._degraded = False
+        self.last_error: BaseException | None = None
+        self.detect_failures = 0
+        self.detect_restarts = 0
+        self._consecutive_failures = 0
         self._clock = 0  # last processed ticket (the service's logical now)
         self.processed_events = 0
         self.passes = 0
+        self.checkpoints_written = 0
+        self._checkpoint_path = checkpoint_path
+        self._checkpoint_interval = checkpoint_interval
+        self._last_checkpoint_pass = 0
         self._latest_published_at: float | None = None
+        self._record_trace = record_trace
         if record_trace:
             from repro.sim.traces import Trace
 
@@ -177,6 +263,34 @@ class RushMonService:
             lambda: 1.0 if self.running else 0.0,
             help="1 while the background detection thread is running",
         )
+        registry.gauge_fn(
+            "rushmon_service_detect_failures_total",
+            lambda: float(self.detect_failures),
+            help="detection passes that raised (caught by the supervisor)",
+        )
+        registry.gauge_fn(
+            "rushmon_service_detect_restarts_total",
+            lambda: float(self.detect_restarts),
+            help="detection-thread restarts performed by the supervisor",
+        )
+        registry.gauge_fn(
+            "rushmon_service_consecutive_detect_failures",
+            lambda: float(self._consecutive_failures),
+            help="current failure streak (a completed pass resets it; "
+                 "exceeding max_restarts trips the circuit breaker)",
+        )
+        registry.gauge_fn(
+            "rushmon_service_degraded",
+            lambda: 1.0 if self._degraded else 0.0,
+            help="1 once the detection circuit breaker has tripped "
+                 "(reports carry health='degraded'; collector sheds on "
+                 "overflow)",
+        )
+        registry.gauge_fn(
+            "rushmon_service_checkpoints_total",
+            lambda: float(self.checkpoints_written),
+            help="state checkpoints written",
+        )
         instrument_detector(registry, self.detector)
 
     def _report_age(self) -> float:
@@ -188,29 +302,73 @@ class RushMonService:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "RushMonService":
-        """Spawn the background detection thread (idempotent)."""
-        if self._thread is not None and self._thread.is_alive():
-            return self
-        self._stop_event.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="rushmon-detector", daemon=True
-        )
-        self._thread.start()
+        """Spawn the background detection thread (idempotent while
+        running; a stopped service cannot be restarted — restore a
+        checkpoint or construct a new one)."""
+        with self._lifecycle_lock:
+            if self._stopped:
+                raise RuntimeError(
+                    "RushMonService is stopped and cannot be restarted; "
+                    "construct a new service or RushMonService.restore() "
+                    "a checkpoint"
+                )
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop_event.clear()
+            self._spawn_locked()
         return self
 
+    def _spawn_locked(self, initial_delay: float = 0.0) -> None:
+        """Start a detection thread; caller holds ``_lifecycle_lock``."""
+        thread = threading.Thread(
+            target=self._run, args=(initial_delay,),
+            name="rushmon-detector", daemon=True,
+        )
+        self._thread = thread
+        thread.start()
+
     def stop(self, drain: bool = True) -> AnomalyReport | None:
-        """Stop the detection thread; with ``drain`` (default) run one
-        final pass so all submitted events are reflected.  Returns the
-        last published report.  Re-raises any detection-thread error."""
-        self._stop_event.set()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
-        if drain:
+        """Stop the service — **terminal and idempotent**.  Joins the
+        detection thread and, with ``drain`` (default), runs one final
+        pass so every event acknowledged before ``stop()`` is reflected
+        in the final counts (skipped when the breaker has tripped: a
+        degraded detector's state is not trustworthy enough to publish
+        one more window).  Returns the last published report.  After
+        this, ingestion and ``close_window()`` raise ``RuntimeError``.
+        """
+        with self._lifecycle_lock:
+            first = not self._stopped
+            self._stopped = True
+            self._stop_event.set()
+        if not first:
+            return self._latest
+        # A failing detection thread may have handed off to a freshly
+        # spawned replacement between our event-set and now; join until
+        # the current handle is dead (the event stops further spawns).
+        while True:
+            with self._lifecycle_lock:
+                thread = self._thread
+            if (
+                thread is None
+                or not thread.is_alive()
+                or thread is threading.current_thread()
+            ):
+                break
+            thread.join()
+        if drain and not self._degraded:
             started = time.perf_counter()
-            self._detect_pass()
-            self._m_drain.set(time.perf_counter() - started)
-        self._raise_pending()
+            try:
+                self._detect_pass()
+            except BaseException as exc:
+                self.last_error = exc
+                self.detect_failures += 1
+                _log.error("final drain pass failed on stop()",
+                           exc_info=exc)
+                raise
+            finally:
+                self._m_drain.set(time.perf_counter() - started)
+        if self._checkpoint_path is not None:
+            self.checkpoint(self._checkpoint_path)
         return self._latest
 
     def __enter__(self) -> "RushMonService":
@@ -223,70 +381,183 @@ class RushMonService:
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
-    def _run(self) -> None:
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @property
+    def degraded(self) -> bool:
+        """True once the detection circuit breaker has tripped."""
+        return self._degraded
+
+    @property
+    def health(self) -> str:
+        """``"ok"`` or ``"degraded"`` — stamped onto every report."""
+        return "degraded" if self._degraded else "ok"
+
+    # -- supervision (detection thread) ----------------------------------------
+
+    def _run(self, initial_delay: float = 0.0) -> None:
         try:
+            if initial_delay and self._stop_event.wait(initial_delay):
+                return
             while not self._stop_event.wait(self.detect_interval):
                 self._detect_pass()
-        except BaseException as exc:  # surfaced on stop()/flush()
-            self._error = exc
+                # A pass that ran to completion ends the failure streak.
+                self._consecutive_failures = 0
+                self._maybe_checkpoint()
+        except BaseException as exc:
+            self._handle_thread_failure(exc)
 
-    def _raise_pending(self) -> None:
-        if self._error is not None:
-            error, self._error = self._error, None
-            raise RuntimeError("rushmon detection thread failed") from error
+    def _handle_thread_failure(self, exc: BaseException) -> None:
+        """Runs on the dying detection thread: count, log, and either
+        spawn a backed-off replacement or trip the circuit breaker."""
+        self.last_error = exc
+        self.detect_failures += 1
+        self._consecutive_failures += 1
+        streak = self._consecutive_failures
+        if streak > self.max_restarts:
+            _log.error(
+                "detection pass failed %d times consecutively "
+                "(max_restarts=%d); circuit breaker tripped — service "
+                "is DEGRADED", streak, self.max_restarts, exc_info=exc,
+            )
+            self._trip_breaker()
+            return
+        backoff = min(
+            self.restart_backoff * (2 ** (streak - 1)), self.max_backoff
+        )
+        _log.warning(
+            "detection pass failed (streak %d/%d), restarting detection "
+            "thread in %.3fs: %r", streak, self.max_restarts, backoff, exc,
+            exc_info=exc,
+        )
+        with self._lifecycle_lock:
+            if self._stop_event.is_set():
+                return  # stop() won the race; no replacement
+            self.detect_restarts += 1
+            self._spawn_locked(initial_delay=backoff)
+
+    def _trip_breaker(self) -> None:
+        """Enter the explicit DEGRADED state: mark health, make the
+        degradation visible through ``latest_report()`` immediately, and
+        switch the collector to shed-on-overflow so producers can never
+        block forever on a detector that is not coming back."""
+        self._degraded = True
+        self.collector.overflow = "shed"
+        latest = self._latest
+        if latest is not None:
+            marker = replace(latest, health="degraded")
+        else:
+            marker = AnomalyReport(
+                window_start=self._window.window_start,
+                window_end=self._clock,
+                estimated_2=0.0,
+                estimated_3=0.0,
+                health="degraded",
+            )
+        # Published as the atomic latest snapshot but NOT appended to
+        # self.reports: it is a re-stamped marker, not a closed window,
+        # and the reports list must stay a partition of processed events.
+        self._latest = marker
+        self._latest_published_at = time.monotonic()
 
     # -- producer-side listener protocol (any thread) --------------------------
+
+    def _ensure_accepting(self) -> None:
+        if self._stopped:
+            raise RuntimeError(
+                "RushMonService is stopped — it no longer accepts "
+                "events; construct a new service (or restore() a "
+                "checkpoint) to resume monitoring"
+            )
 
     def on_operation(self, op: Operation) -> None:
         """Observe one read/write (thread-safe; collection is inline,
         detection is deferred to the background pass)."""
+        self._ensure_accepting()
         self.collector.handle(op)
 
     def on_operations(self, ops: Iterable[Operation]) -> None:
+        self._ensure_accepting()
         for op in ops:
             self.collector.handle(op)
 
     def begin_buu(self, buu: BuuId, start_time: int = 0) -> None:
+        self._ensure_accepting()
         self.collector.record_lifecycle(EV_BEGIN, buu, start_time)
 
     def commit_buu(self, buu: BuuId, commit_time: int = 0) -> None:
+        self._ensure_accepting()
         self.collector.record_lifecycle(EV_COMMIT, buu, commit_time)
 
-    # -- detection (background thread, or flush() caller) -----------------------
+    # -- detection (background thread, or close_window() caller) ----------------
+
+    def _fire_fault(self, point: str) -> None:
+        fault = self._faults.fire(point)
+        if fault is None:
+            return
+        if fault.kind == "delay":
+            time.sleep(fault.delay)
+        else:
+            raise fault.exc_factory()
 
     def _detect_pass(self) -> AnomalyReport | None:
         """Drain the journal, feed the detector in ticket order, close a
-        window.  Serialized by ``_pass_lock`` so an explicit ``flush()``
-        cannot interleave with the background thread."""
+        window.  Serialized by ``_pass_lock`` so an explicit
+        ``close_window()`` cannot interleave with the background thread.
+
+        Crash safety: if processing raises mid-batch, the unconsumed
+        suffix is re-queued (ticket order preserved) before the
+        exception propagates to the supervisor, so a failed pass loses
+        no acknowledged events.  Re-processing the event that was in
+        flight is idempotent for cycle counts (the live graph
+        deduplicates edges).
+        """
         with self._pass_lock:
             started = time.perf_counter()
+            if self._faults is not None:
+                self._fire_fault("detect.pass")
             events = self.collector.drain_journal()
-            for ticket, kind, payload, extra in events:
-                self._clock = ticket
-                if kind == EV_OP:
-                    self._window.observe_operation()
-                    if self._trace is not None:
-                        self._trace.ops.append(replace(payload, seq=ticket))
-                    for edge in extra:
-                        # Re-stamp with the ticket: the detector's logical
-                        # clock (window ends, prune 'now') must follow the
-                        # serialized order, not the producers' own seqs.
-                        self._window.observe_edge(replace(edge, seq=ticket))
-                elif kind == EV_BEGIN:
-                    self.detector.begin_buu(payload, ticket)
-                    if self._trace is not None:
-                        self._trace.begins.append((payload, ticket))
-                else:
-                    self.detector.commit_buu(payload, ticket)
-                    if self._trace is not None:
-                        self._trace.commits.append((payload, ticket))
+            consumed = 0
+            try:
+                for ticket, kind, payload, extra in events:
+                    if self._faults is not None:
+                        self._fire_fault("detect.process")
+                    if kind == EV_OP:
+                        self._window.observe_operation()
+                        if self._trace is not None:
+                            self._trace.ops.append(replace(payload, seq=ticket))
+                        for edge in extra:
+                            # Re-stamp with the ticket: the detector's
+                            # logical clock (window ends, prune 'now')
+                            # must follow the serialized order, not the
+                            # producers' own seqs.
+                            self._window.observe_edge(replace(edge, seq=ticket))
+                    elif kind == EV_BEGIN:
+                        self.detector.begin_buu(payload, ticket)
+                        if self._trace is not None:
+                            self._trace.begins.append((payload, ticket))
+                    else:
+                        self.detector.commit_buu(payload, ticket)
+                        if self._trace is not None:
+                            self._trace.commits.append((payload, ticket))
+                    consumed += 1
+                    self._clock = ticket
+            except BaseException:
+                if consumed < len(events):
+                    self.collector.requeue(events[consumed:])
+                self.processed_events += consumed
+                self.passes += 1
+                raise
             self.passes += 1
             if not events:
                 self._m_pass_seconds.observe(time.perf_counter() - started)
                 return None
             self.processed_events += len(events)
             report = self._window.close(
-                self._clock, self.collector.sampling_probability
+                self._clock, self.collector.sampling_probability,
+                health=self.health,
             )
             self.reports.append(report)
             self._latest = report  # atomic reference swap
@@ -304,8 +575,15 @@ class RushMonService:
 
         ``now`` is accepted for protocol compatibility and ignored: the
         service's clock is the journal ticket order, not caller time.
+        Raises ``RuntimeError`` after :meth:`stop` — the final drain has
+        already run and there is nothing left to close.
         """
-        self._raise_pending()
+        if self._stopped:
+            raise RuntimeError(
+                "RushMonService is stopped — stop() already drained the "
+                "final window; read latest_report()/reports instead of "
+                "calling close_window()"
+            )
         return self._detect_pass()
 
     def flush(self) -> AnomalyReport | None:
@@ -317,12 +595,117 @@ class RushMonService:
         """
         return self.close_window()
 
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_interval is None:
+            return
+        if self.passes - self._last_checkpoint_pass >= self._checkpoint_interval:
+            self.checkpoint(self._checkpoint_path)
+
+    def checkpoint(self, path: str | None = None) -> str:
+        """Write a crash-consistent snapshot of the whole service —
+        collector bookkeeping, pending journal events, detector graph
+        and counts, open-window state, published reports (and the
+        recorded trace, if any) — to ``path`` (default: the configured
+        ``checkpoint_path``) via :func:`repro.storage.wal.save_checkpoint`.
+
+        Taken under the pass lock *and* all shard locks, so the cut is a
+        consistent prefix of the ticket order: every event is either in
+        the snapshot's detector state, in its pending journal, or was
+        ingested after the cut.
+        """
+        target = path if path is not None else self._checkpoint_path
+        if target is None:
+            raise ValueError(
+                "no checkpoint path: pass one or construct the service "
+                "with checkpoint_path="
+            )
+        with self._pass_lock:
+            payload = {
+                "config": asdict(self.config),
+                "service": {
+                    "num_shards": self.collector.num_shards,
+                    "detect_interval": self.detect_interval,
+                    "journal_capacity": self.collector.journal_capacity,
+                    "overflow": self.collector.overflow,
+                    "block_timeout": self.collector.block_timeout,
+                    "max_restarts": self.max_restarts,
+                    "restart_backoff": self.restart_backoff,
+                    "max_backoff": self.max_backoff,
+                    "record_trace": self._record_trace,
+                },
+                "collector": self.collector.snapshot_state(),
+                "detector": wal.encode_detector_state(self.detector),
+                "window": wal.encode_window_state(self._window),
+                "reports": [wal.encode_report(r) for r in self.reports],
+                "clock": self._clock,
+                "processed_events": self.processed_events,
+                "passes": self.passes,
+                "trace": (
+                    None if self._trace is None
+                    else wal.encode_trace(self._trace)
+                ),
+            }
+            self._last_checkpoint_pass = self.passes
+        wal.save_checkpoint(target, payload)
+        self.checkpoints_written += 1
+        return target
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        *,
+        metrics: MetricsRegistry | None = None,
+        faults=None,
+        checkpoint_path: str | None = None,
+        checkpoint_interval: int | None = None,
+    ) -> "RushMonService":
+        """Rebuild a service from a :meth:`checkpoint` file and resume
+        where the snapshot was cut: restored pending journal events are
+        consumed by the next detection pass, window counts continue from
+        the open window, and cumulative counts match an uninterrupted
+        run over the same event stream.  The returned service is *not*
+        started — call :meth:`start` (or drive it inline)."""
+        payload = wal.load_checkpoint(path)
+        saved = payload["service"]
+        service = cls(
+            RushMonConfig(**payload["config"]),
+            num_shards=saved["num_shards"],
+            detect_interval=saved["detect_interval"],
+            record_trace=saved["record_trace"],
+            journal_capacity=saved["journal_capacity"],
+            overflow=saved["overflow"],
+            block_timeout=saved["block_timeout"],
+            max_restarts=saved["max_restarts"],
+            restart_backoff=saved["restart_backoff"],
+            max_backoff=saved["max_backoff"],
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=checkpoint_interval,
+            faults=faults,
+            metrics=metrics,
+        )
+        service.collector.restore_state(payload["collector"])
+        wal.decode_detector_state(service.detector, payload["detector"])
+        wal.decode_window_state(service._window, payload["window"])
+        service.reports = [wal.decode_report(r) for r in payload["reports"]]
+        service._latest = service.reports[-1] if service.reports else None
+        service._clock = payload["clock"]
+        service.processed_events = payload["processed_events"]
+        service.passes = payload["passes"]
+        service._last_checkpoint_pass = service.passes
+        if service._trace is not None and payload["trace"] is not None:
+            wal.decode_trace(service._trace, payload["trace"])
+        return service
+
     # -- consumer-side views ---------------------------------------------------
 
     def latest_report(self) -> AnomalyReport | None:
         """The most recently published window report (atomic snapshot:
         reports are immutable once published, and this is a single
-        reference read)."""
+        reference read).  Once the circuit breaker has tripped, the
+        returned report carries ``health == "degraded"``."""
         return self._latest
 
     def counts(self) -> CycleCounts:
@@ -339,11 +722,11 @@ class RushMonService:
     def serialized_trace(self):
         """The recorded ticket-ordered trace (``record_trace=True`` only).
 
-        Call after :meth:`stop` or :meth:`flush`; events still in shard
-        journals are not yet part of the trace.  Replaying it through
-        :class:`~repro.core.monitor.OfflineAnomalyMonitor` reproduces the
-        service's counts exactly at ``sr=1`` (the differential tests'
-        invariant).
+        Call after :meth:`stop` or :meth:`close_window`; events still in
+        shard journals are not yet part of the trace.  Replaying it
+        through :class:`~repro.core.monitor.OfflineAnomalyMonitor`
+        reproduces the service's counts exactly at ``sr=1`` (the
+        differential tests' invariant).
         """
         if self._trace is None:
             raise RuntimeError(

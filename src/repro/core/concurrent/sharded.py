@@ -29,6 +29,34 @@ of the concurrent execution.  The background detection thread of
 journal; replaying it through the offline baseline must (and, per the
 differential tests, does) reproduce the service's counts exactly.
 
+Bounded journal and backpressure
+--------------------------------
+
+An unbounded journal grows without limit whenever the detector falls
+behind the producers, so ``journal_capacity`` bounds it (the budget is
+split evenly across shards).  When a shard's buffer is full, the
+``overflow`` policy decides what an arriving event experiences:
+
+``"block"``
+    The producer waits (on the shard's condition variable, released by
+    the next drain) up to ``block_timeout`` seconds, then raises
+    :class:`JournalBackpressure`.  Nothing is ever lost; producers feel
+    the detector's lag directly.
+``"shed"``
+    The event is dropped *whole* — no bookkeeping, no journal entry, no
+    acknowledgement — and counted in the shed counters, so downstream
+    estimates remain honest lower bounds over exactly the acknowledged
+    prefix (the ``sr=1`` differential invariant is preserved for every
+    acknowledged event).
+``"degrade"``
+    The capacity becomes a soft limit: the event is journaled anyway,
+    and the collector adaptively *raises its effective sampling rate*
+    (halving the kept-item fraction via a secondary per-item hash
+    filter) so passes get cheaper and the journal drains faster.  Each
+    shift — up under pressure, back down once a drain comes up light —
+    is counted, and :attr:`sampling_probability` always reflects the
+    effective probability so estimates stay calibrated going forward.
+
 Periodic re-sampling (§5.1) is intentionally unsupported here: a sample
 switch must clear every shard atomically, which would need the same
 stop-the-world drain on the hot path.  The serial
@@ -42,16 +70,29 @@ import itertools
 import random
 import threading
 import time
-from typing import Iterable
+import zlib
+from typing import Any, Iterable
 
 from repro.core.collector import CollectorShard, ItemSampler, _splitmix64
-from repro.core.types import Edge, EdgeStats, Key, Operation
+from repro.core.types import Edge, EdgeStats, Key, Operation, OpType
 from repro.obs.metrics import MetricsRegistry
 
 #: Journal event kinds.
 EV_OP = "op"
 EV_BEGIN = "begin"
 EV_COMMIT = "commit"
+
+#: Valid journal-overflow policies.
+OVERFLOW_POLICIES = ("block", "shed", "degrade")
+
+#: Salt for the degrade-mode secondary item filter (must differ from the
+#: sampler's salt so the two inclusions are independent).
+_DEGRADE_SALT = 0xD1E6_7A5E
+
+
+class JournalBackpressure(RuntimeError):
+    """Raised to a producer when the journal stayed full past the
+    ``block_timeout`` under the ``"block"`` overflow policy."""
 
 
 class _Shard:
@@ -60,16 +101,53 @@ class _Shard:
     ``journal_highwater`` is the deepest this shard's journal has ever
     grown between drains — a plain int updated under the shard lock, so
     the observability export (max over shards) needs no extra locking.
+    ``not_full`` is signalled by every drain so blocked producers wake.
     """
 
-    __slots__ = ("lock", "state", "journal", "ops_seen", "journal_highwater")
+    __slots__ = ("lock", "not_full", "state", "journal", "ops_seen",
+                 "journal_highwater", "shed", "shed_sampled",
+                 "blocked_seconds", "block_timeouts")
 
     def __init__(self, state: CollectorShard) -> None:
         self.lock = threading.Lock()
+        self.not_full = threading.Condition(self.lock)
         self.state = state
         self.journal: list[tuple] = []
         self.ops_seen = 0
         self.journal_highwater = 0
+        self.shed = 0
+        self.shed_sampled = 0
+        self.blocked_seconds = 0.0
+        self.block_timeouts = 0
+
+
+def _encode_event(event: tuple) -> list:
+    """Checkpoint encoding of one journal event (JSON-friendly)."""
+    ticket, kind, payload, extra = event
+    if kind == EV_OP:
+        op: Operation = payload
+        return [ticket, kind, [op.op.value, op.buu, op.key, op.seq],
+                [[e.src, e.dst, e.kind.value, e.label, e.seq]
+                 for e in extra]]
+    return [ticket, kind, payload, extra]
+
+
+def _decode_event(record: list) -> tuple:
+    """Inverse of :func:`_encode_event`."""
+    ticket, kind, payload, extra = record
+    if kind == EV_OP:
+        op = Operation(OpType(payload[0]), payload[1], payload[2],
+                       payload[3])
+        edges = [Edge(e[0], e[1], _EDGE_TYPES[e[2]], e[3], e[4])
+                 for e in extra]
+        return (ticket, kind, op, edges)
+    return (ticket, kind, payload, extra)
+
+
+# Local EdgeType lookup (avoids importing the enum call in a tight loop).
+from repro.core.types import EdgeType as _EdgeType  # noqa: E402
+
+_EDGE_TYPES = {member.value: member for member in _EdgeType}
 
 
 class ShardedCollector:
@@ -84,14 +162,27 @@ class ShardedCollector:
         Record a ticket-ordered event journal for a background detector
         (see module docstring).  Off by default: a standalone sharded
         collector returns edges to the caller and keeps no history.
+    journal_capacity:
+        Total buffered-event budget across all shard journals (split
+        evenly; each shard gets at least 1).  ``None`` (default) keeps
+        the journal unbounded — the pre-backpressure behaviour.
+    overflow:
+        What a producer experiences when its shard's journal is full:
+        ``"block"`` / ``"shed"`` / ``"degrade"`` (module docstring).
+    block_timeout:
+        Seconds a ``"block"``-policy producer waits before
+        :class:`JournalBackpressure` is raised.
+    faults:
+        Optional :class:`~repro.testing.faults.FaultInjector`; arms the
+        ``collector.handle`` and ``journal.drain`` injection points.
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
         the collector exports per-thread counters (ops handled, sampled
         hits, edges emitted, cumulative shard-lock wait time) and
-        callback gauges (journal depth + high-water mark, hit rate).
-        Lock wait is the only instrumentation with hot-path cost (two
-        ``perf_counter`` calls per op) and is skipped when no registry
-        is attached.
+        callback gauges (journal depth + high-water mark + fill ratio,
+        hit rate, shed totals, degrade state).  Lock wait is the only
+        instrumentation with hot-path cost (two ``perf_counter`` calls
+        per op) and is skipped when no registry is attached.
     """
 
     def __init__(
@@ -103,10 +194,23 @@ class ShardedCollector:
         mob_slots: int = 2,
         num_shards: int = 8,
         journal: bool = False,
+        journal_capacity: int | None = None,
+        overflow: str = "block",
+        block_timeout: float = 5.0,
+        faults: Any | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if journal_capacity is not None and journal_capacity < 1:
+            raise ValueError("journal_capacity must be >= 1 or None")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {overflow!r}"
+            )
+        if block_timeout <= 0:
+            raise ValueError("block_timeout must be > 0")
         self.num_shards = num_shards
         # The sampler is shared: chosen() is a pure function of
         # (key, salt) — or a frozen materialized set — so concurrent
@@ -121,6 +225,21 @@ class ShardedCollector:
         ]
         self._ticket = itertools.count()
         self._journal = journal
+        self.journal_capacity = journal_capacity
+        self.overflow = overflow
+        self.block_timeout = block_timeout
+        self._shard_capacity = (
+            None if journal_capacity is None
+            else max(1, journal_capacity // num_shards)
+        )
+        self._faults = faults
+        # Degrade-policy state: the effective per-item keep fraction is
+        # 1 / 2**shift on top of the base sample.  Guarded by its own
+        # lock (escalation is rare; the hot path reads the plain int).
+        self._degrade_lock = threading.Lock()
+        self._degrade_shift = 0
+        self._degrade_shifts_total = 0
+        self._shifted_this_epoch = False
         self.metrics = metrics
         if metrics is not None:
             self._m_ops = metrics.counter(
@@ -157,6 +276,51 @@ class ShardedCollector:
                 help="deepest any shard journal has grown between drains",
             )
             metrics.gauge_fn(
+                "rushmon_collector_journal_fill_ratio",
+                self._fill_ratio,
+                help="buffered events / journal capacity (0 when unbounded)"
+                     " — the journal-depth watermark",
+            )
+            metrics.gauge_fn(
+                "rushmon_collector_journal_shed_total",
+                lambda: float(self.shed_events),
+                help="events dropped whole by the 'shed' overflow policy "
+                     "(never acknowledged, so estimates stay honest)",
+            )
+            metrics.gauge_fn(
+                "rushmon_collector_journal_shed_sampled_total",
+                lambda: float(self.shed_sampled_events),
+                help="shed events that were on sampled items (would have "
+                     "contributed bookkeeping)",
+            )
+            metrics.gauge_fn(
+                "rushmon_collector_backpressure_wait_seconds_total",
+                lambda: float(
+                    sum(s.blocked_seconds for s in self._shards)
+                ),
+                help="cumulative time producers spent blocked on a full "
+                     "journal ('block' overflow policy)",
+            )
+            metrics.gauge_fn(
+                "rushmon_collector_backpressure_timeouts_total",
+                lambda: float(sum(s.block_timeouts for s in self._shards)),
+                help="producer waits that exceeded block_timeout and "
+                     "raised JournalBackpressure",
+            )
+            metrics.gauge_fn(
+                "rushmon_collector_effective_sampling_rate",
+                lambda: float(
+                    self.sampler.sampling_rate * (1 << self._degrade_shift)
+                ),
+                help="configured sr times the degrade-policy multiplier",
+            )
+            metrics.gauge_fn(
+                "rushmon_collector_degrade_shifts_total",
+                lambda: float(self._degrade_shifts_total),
+                help="times the degrade policy changed the effective "
+                     "sampling rate (up or down)",
+            )
+            metrics.gauge_fn(
                 "rushmon_collector_sampled_hit_rate",
                 self._hit_rate,
                 help="fraction of handled operations on sampled items",
@@ -172,17 +336,105 @@ class ShardedCollector:
         seen = self.ops_seen
         return (self.touches / seen) if seen else 0.0
 
+    def _fill_ratio(self) -> float:
+        if self.journal_capacity is None:
+            return 0.0
+        depth = sum(len(s.journal) for s in self._shards)
+        return depth / self.journal_capacity
+
     # -- partitioning --------------------------------------------------------
 
     def shard_index(self, key: Key) -> int:
-        """The shard owning ``key`` (stable within the process)."""
-        return _splitmix64(hash(key)) % self.num_shards
+        """The shard owning ``key``.
+
+        Must be stable *across processes*, not just within one —
+        checkpoints store item bookkeeping per shard, and a restore in a
+        new process must look keys up in the same buckets.  Builtin
+        ``hash()`` is randomized per process (PYTHONHASHSEED), so the
+        digest is CRC-of-repr like :meth:`ItemSampler.chosen`.
+        """
+        return _splitmix64(zlib.crc32(repr(key).encode())) % self.num_shards
+
+    # -- sampling (base sample x degrade filter) ------------------------------
+
+    def _chosen(self, key: Key) -> bool:
+        if not self.sampler.chosen(key):
+            return False
+        shift = self._degrade_shift
+        if shift == 0:
+            return True
+        # Process-stable for the same reason as shard_index: the degrade
+        # filter's membership must survive checkpoint/restore.
+        digest = zlib.crc32(repr(key).encode())
+        mixed = _splitmix64(digest ^ _DEGRADE_SALT)
+        return mixed % (1 << shift) == 0
+
+    # -- overflow handling (caller holds the shard lock) -----------------------
+
+    def _resolve_overflow(self, shard: _Shard, sampled_hint: bool) -> bool:
+        """Apply the overflow policy to one arriving event whose shard
+        journal is full.  Returns True if the caller may proceed to
+        bookkeep + journal the event, False if the event was shed."""
+        if self.overflow == "shed":
+            shard.shed += 1
+            if sampled_hint:
+                shard.shed_sampled += 1
+            return False
+        if self.overflow == "degrade":
+            self._escalate_degrade()
+            return True  # soft limit: journal it anyway
+        # "block": wait for a drain to make room, bounded by the timeout.
+        assert self._shard_capacity is not None
+        start = time.monotonic()
+        deadline = start + self.block_timeout
+        while len(shard.journal) >= self._shard_capacity:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                shard.blocked_seconds += time.monotonic() - start
+                shard.block_timeouts += 1
+                raise JournalBackpressure(
+                    f"shard journal stayed full ({self._shard_capacity} "
+                    f"events) for {self.block_timeout}s — the detection "
+                    f"thread is not draining; raise journal_capacity, "
+                    f"lower detect_interval, or use the 'shed'/'degrade' "
+                    f"overflow policy"
+                )
+            shard.not_full.wait(remaining)
+        shard.blocked_seconds += time.monotonic() - start
+        return True
+
+    def _escalate_degrade(self) -> None:
+        """Halve the kept-item fraction (at most once per drain epoch,
+        so a burst of overflowing producers escalates one step)."""
+        with self._degrade_lock:
+            if self._shifted_this_epoch:
+                return
+            self._shifted_this_epoch = True
+            self._degrade_shift += 1
+            self._degrade_shifts_total += 1
+
+    def _maybe_recover_degrade(self, drained: int) -> None:
+        """Called by drains: step the shift back once load fell to under
+        half the capacity (and reopen the once-per-epoch escalation)."""
+        with self._degrade_lock:
+            self._shifted_this_epoch = False
+            if (
+                self._degrade_shift > 0
+                and self.journal_capacity is not None
+                and drained < self.journal_capacity // 2
+            ):
+                self._degrade_shift -= 1
+                self._degrade_shifts_total += 1
 
     # -- ingestion (any thread) ----------------------------------------------
 
     def handle(self, op: Operation) -> list[Edge]:
         """Bookkeep one operation under its shard's lock; returns the
-        derived edges (empty if the item was not sampled)."""
+        derived edges (empty if the item was not sampled, or if the
+        event was shed by the overflow policy — a shed operation is
+        *not acknowledged*: no bookkeeping, no journal entry)."""
+        if self._faults is not None:
+            self._apply_fault("collector.handle")
         shard = self._shards[self.shard_index(op.key)]
         lock_wait = self._m_lock_wait
         if lock_wait is not None:
@@ -192,12 +444,25 @@ class ShardedCollector:
         else:
             shard.lock.acquire()
         try:
+            chosen = self._chosen(op.key)
+            if (
+                self._journal
+                and self._shard_capacity is not None
+                and len(shard.journal) >= self._shard_capacity
+                and not self._resolve_overflow(shard, chosen)
+            ):
+                return []
             shard.ops_seen += 1
-            chosen = self.sampler.chosen(op.key)
             if chosen:
                 edges = shard.state.handle(op)
             else:
                 edges = []
+                if self._degrade_shift:
+                    # The degrade filter may have excluded an item that
+                    # was being tracked; drop its state so a later
+                    # re-inclusion warms up cleanly instead of deriving
+                    # edges from a stale lastWrite.
+                    shard.state.drop_item(op.key)
             if self._journal:
                 shard.journal.append((next(self._ticket), EV_OP, op, edges))
                 depth = len(shard.journal)
@@ -223,11 +488,19 @@ class ShardedCollector:
 
     def record_lifecycle(self, kind: str, buu: int, time: int) -> None:
         """Journal a BUU ``begin``/``commit`` event (routed by BUU hash so
-        the ticket is assigned under some shard lock)."""
+        the ticket is assigned under some shard lock).  Subject to the
+        same capacity policy as operations; a shed lifecycle event is
+        dropped whole."""
         if not self._journal:
             return
         shard = self._shards[_splitmix64(buu) % self.num_shards]
         with shard.lock:
+            if (
+                self._shard_capacity is not None
+                and len(shard.journal) >= self._shard_capacity
+                and not self._resolve_overflow(shard, False)
+            ):
+                return
             shard.journal.append((next(self._ticket), kind, buu, time))
             depth = len(shard.journal)
             if depth > shard.journal_highwater:
@@ -243,20 +516,127 @@ class ShardedCollector:
 
         Tickets are only issued while holding a shard lock, so acquiring
         every shard lock (briefly — the swap is a pointer exchange)
-        guarantees no ticket issued so far is still in flight.
+        guarantees no ticket issued so far is still in flight.  Blocked
+        producers are woken (the swap empties every buffer).
         """
+        fault = None
+        if self._faults is not None:
+            fault = self._apply_fault("journal.drain",
+                                      defer=("partial_drain",))
         for shard in self._shards:
             shard.lock.acquire()
         try:
             batches = [shard.journal for shard in self._shards]
             for shard in self._shards:
                 shard.journal = []
+                shard.not_full.notify_all()
         finally:
             for shard in reversed(self._shards):
                 shard.lock.release()
         # Each batch is ticket-sorted (appended in issue order under the
         # lock); tickets are unique, so the merge is a total order.
-        return list(heapq.merge(*batches))
+        merged = list(heapq.merge(*batches))
+        self._maybe_recover_degrade(len(merged))
+        if fault is not None and fault.kind == "partial_drain":
+            keep = int(len(merged) * fault.fraction)
+            self.requeue(merged[keep:])
+            merged = merged[:keep]
+        return merged
+
+    def requeue(self, events: list[tuple]) -> None:
+        """Put already-drained events (an ascending-ticket suffix) back
+        at the *front* of the journal, to be re-drained next pass.
+
+        Used by the service's crash-safe detection pass (events a failed
+        pass did not consume) and by partial drains.  Correctness: every
+        ticket in ``events`` was issued before any event currently
+        buffered, so prepending preserves per-shard ticket order.
+        Capacity is intentionally ignored — losing drained events to
+        backpressure would break the no-acknowledged-loss guarantee.
+        """
+        if not events:
+            return
+        shard = self._shards[0]
+        with shard.lock:
+            shard.journal[:0] = events
+            depth = len(shard.journal)
+            if depth > shard.journal_highwater:
+                shard.journal_highwater = depth
+
+    def _apply_fault(self, point: str, defer: tuple = ()):
+        """Fire an injection point; applies exception/delay kinds
+        inline, returns the fault for kinds the call site handles."""
+        fault = self._faults.fire(point)
+        if fault is None or fault.kind in defer:
+            return fault
+        if fault.kind == "delay":
+            time.sleep(fault.delay)
+            return None
+        raise fault.exc_factory()
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """A consistent, JSON-friendly snapshot of every shard's
+        bookkeeping *and* the not-yet-drained journal events, taken
+        under all shard locks (so it is a prefix-consistent cut of the
+        ticket order).  Keys must be JSON-serializable (str/int — what
+        every workload in this repository uses)."""
+        for shard in self._shards:
+            shard.lock.acquire()
+        try:
+            # Burning one ticket yields a value strictly greater than
+            # every ticket issued so far — the restart point.
+            next_ticket = next(self._ticket)
+            shards = [
+                {
+                    "ops_seen": shard.ops_seen,
+                    "journal_highwater": shard.journal_highwater,
+                    "shed": shard.shed,
+                    "shed_sampled": shard.shed_sampled,
+                    "state": shard.state.to_state(),
+                    "journal": [_encode_event(e) for e in shard.journal],
+                }
+                for shard in self._shards
+            ]
+        finally:
+            for shard in reversed(self._shards):
+                shard.lock.release()
+        with self._degrade_lock:
+            shift = self._degrade_shift
+            shifts_total = self._degrade_shifts_total
+        return {
+            "num_shards": self.num_shards,
+            "next_ticket": next_ticket,
+            "sampler": self.sampler.to_state(),
+            "degrade_shift": shift,
+            "degrade_shifts_total": shifts_total,
+            "shards": shards,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` payload into this (freshly
+        constructed, identically sharded) collector."""
+        if state["num_shards"] != self.num_shards:
+            raise ValueError(
+                f"checkpoint has {state['num_shards']} shards, "
+                f"collector has {self.num_shards}"
+            )
+        self._ticket = itertools.count(state["next_ticket"])
+        self.sampler.load_state(state["sampler"])
+        with self._degrade_lock:
+            self._degrade_shift = state["degrade_shift"]
+            self._degrade_shifts_total = state["degrade_shifts_total"]
+        for shard, payload in zip(self._shards, state["shards"]):
+            with shard.lock:
+                shard.ops_seen = payload["ops_seen"]
+                shard.journal_highwater = payload["journal_highwater"]
+                shard.shed = payload["shed"]
+                shard.shed_sampled = payload["shed_sampled"]
+                shard.state.load_state(payload["state"])
+                shard.journal = [
+                    _decode_event(e) for e in payload["journal"]
+                ]
 
     # -- aggregate views ------------------------------------------------------
 
@@ -266,7 +646,28 @@ class ShardedCollector:
 
     @property
     def sampling_probability(self) -> float:
-        return self.sampler.probability
+        """Effective per-item inclusion probability: the base sample
+        times the degrade-policy multiplier (1 until a shift happens)."""
+        return self.sampler.probability / (1 << self._degrade_shift)
+
+    @property
+    def degrade_shift(self) -> int:
+        """Current degrade level (kept fraction is 1/2**shift)."""
+        return self._degrade_shift
+
+    @property
+    def degrade_shifts_total(self) -> int:
+        """Lifetime number of effective-sampling-rate switches."""
+        return self._degrade_shifts_total
+
+    @property
+    def shed_events(self) -> int:
+        """Events dropped whole by the 'shed' overflow policy."""
+        return sum(shard.shed for shard in self._shards)
+
+    @property
+    def shed_sampled_events(self) -> int:
+        return sum(shard.shed_sampled for shard in self._shards)
 
     @property
     def ops_seen(self) -> int:

@@ -40,10 +40,49 @@ class RushMonConfig:
     count_three_cycles: bool = True
     seed: int = 0
 
+    #: Valid ``pruning`` strategies (mirrors repro.core.pruning.make_pruner).
+    PRUNING_CHOICES = ("none", "ect", "distance", "both")
+
     def __post_init__(self) -> None:
+        if not isinstance(self.sampling_rate, int) or isinstance(
+            self.sampling_rate, bool
+        ):
+            raise ValueError(
+                f"sampling_rate must be an int, got "
+                f"{type(self.sampling_rate).__name__}"
+            )
         if self.sampling_rate < 1:
-            raise ValueError("sampling_rate must be >= 1")
+            raise ValueError(
+                f"sampling_rate must be >= 1 (p = 1/sr), got "
+                f"{self.sampling_rate}"
+            )
+        if not isinstance(self.prune_interval, int) or isinstance(
+            self.prune_interval, bool
+        ):
+            raise ValueError(
+                f"prune_interval must be an int, got "
+                f"{type(self.prune_interval).__name__}"
+            )
         if self.prune_interval < 1:
-            raise ValueError("prune_interval must be >= 1")
-        if self.resample_interval is not None and self.resample_interval < 1:
-            raise ValueError("resample_interval must be >= 1 or None")
+            raise ValueError(
+                f"prune_interval must be > 0 edges between pruning passes, "
+                f"got {self.prune_interval}"
+            )
+        if self.resample_interval is not None and (
+            not isinstance(self.resample_interval, int)
+            or isinstance(self.resample_interval, bool)
+            or self.resample_interval < 1
+        ):
+            raise ValueError(
+                f"resample_interval must be >= 1 operations or None, got "
+                f"{self.resample_interval!r}"
+            )
+        if self.pruning not in self.PRUNING_CHOICES:
+            raise ValueError(
+                f"pruning must be one of {self.PRUNING_CHOICES}, got "
+                f"{self.pruning!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(
+                f"seed must be an int, got {type(self.seed).__name__}"
+            )

@@ -66,9 +66,12 @@ class WindowTracker:
         self.edges.record(edge.kind)
         self.raw.add(self.detector.add_edge(edge))
 
-    def close(self, end: int, probability: float) -> AnomalyReport:
+    def close(self, end: int, probability: float,
+              health: str = "ok") -> AnomalyReport:
         """Close the current window and return its report; the tracker
-        resets and the next window starts at ``end``."""
+        resets and the next window starts at ``end``.  ``health`` is
+        stamped onto the report so a degraded concurrent service cannot
+        publish a window that looks healthy."""
         est2 = estimate_two_cycles(self.raw, probability)
         est3 = estimate_three_cycles(self.raw, probability)
         current_patterns = self.detector.patterns
@@ -86,6 +89,7 @@ class WindowTracker:
             edges=self.edges.copy(),
             operations=self.ops,
             patterns=window_patterns,
+            health=health,
         )
         self.raw = CycleCounts()
         self.edges = EdgeStats()

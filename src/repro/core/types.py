@@ -194,6 +194,11 @@ class AnomalyReport:
     #: Raw (sampled, uncalibrated) 2-cycle counts by anomaly pattern —
     #: lost_update / unrepeatable_read / read_skew / write_skew / ...
     patterns: dict = field(default_factory=dict)
+    #: Health of the monitor that produced this report: ``"ok"`` in
+    #: normal operation, ``"degraded"`` when the concurrent service's
+    #: detection supervisor has tripped its circuit breaker (the counts
+    #: may then lag or undercount — see repro.core.concurrent.service).
+    health: str = "ok"
 
     @property
     def anomalies(self) -> float:

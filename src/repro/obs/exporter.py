@@ -70,10 +70,23 @@ class MetricsExporter:
         self._thread: threading.Thread | None = None
 
     def start(self) -> "MetricsExporter":
-        """Bind and start serving (idempotent)."""
+        """Bind and start serving (idempotent).  Raises ``RuntimeError``
+        with the offending address when the port is already bound, so a
+        misconfigured deployment fails with an actionable message rather
+        than a bare ``OSError``."""
         if self._server is not None:
             return self
-        server = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        try:
+            server = ThreadingHTTPServer(
+                (self.host, self._requested_port), _Handler
+            )
+        except OSError as exc:
+            raise RuntimeError(
+                f"metrics exporter could not bind "
+                f"{self.host}:{self._requested_port}: {exc.strerror or exc} "
+                f"— is another exporter (or service) already listening "
+                f"there?  Pass port=0 to pick a free ephemeral port."
+            ) from exc
         server.daemon_threads = True
         server.registry = self.registry  # type: ignore[attr-defined]
         self._server = server

@@ -1,4 +1,5 @@
-"""Write-ahead log and log-parser collector deployment (§4.1).
+"""Write-ahead log, log-parser collector deployment (§4.1), and
+monitor checkpoints.
 
 The paper lists three ways to deploy the collector: "middle-ware, a
 plug-in of the storage layer, or a log parser, which extracts read/write
@@ -15,15 +16,35 @@ implements the log-parser style:
 
 A log-parsed monitor sees exactly the stream a plug-in monitor sees, so
 the two deployments produce identical anomaly counts — tested.
+
+This module also owns the durable **checkpoint** format the concurrent
+service uses for crash recovery (:func:`save_checkpoint` /
+:func:`load_checkpoint` plus the detector/window/report codecs).  A
+checkpoint is a single JSON document with an explicit format tag,
+version and CRC, written atomically (temp file + ``os.replace``) so a
+crash mid-write leaves the previous checkpoint intact, and a truncated
+or corrupted file is *detected* (:class:`CheckpointError`) rather than
+restored into a silently wrong monitor.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
+from collections import Counter
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
-from repro.core.types import Operation, OpType
+from repro.core.patterns import AnomalyPattern, PatternCounts
+from repro.core.types import (
+    AnomalyReport,
+    CycleCounts,
+    EdgeStats,
+    EdgeType,
+    Operation,
+    OpType,
+)
 
 
 class WriteAheadLog:
@@ -133,3 +154,237 @@ class LogParser:
     def feed_file(self, path: str | Path) -> int:
         with open(path) as handle:
             return self.feed(handle)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints: durable snapshots of a running monitor's state.
+# ---------------------------------------------------------------------------
+
+#: Format tag stamped into every checkpoint file.
+CHECKPOINT_FORMAT = "rushmon-checkpoint"
+#: Bump on any incompatible payload change.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, corrupt, or incompatible."""
+
+
+def save_checkpoint(path: str | Path, payload: dict) -> None:
+    """Atomically persist ``payload`` (a JSON-serializable dict).
+
+    The document carries a CRC over the canonical payload encoding; the
+    write goes to a sibling temp file and is moved into place with
+    ``os.replace``, so readers only ever see either the old complete
+    checkpoint or the new complete checkpoint.
+    """
+    path = Path(path)
+    body = json.dumps(payload, sort_keys=True)
+    document = json.dumps(
+        {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "crc": zlib.crc32(body.encode()),
+            "payload": payload,
+        },
+        sort_keys=True,
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(document)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read and verify a checkpoint; returns its payload.
+
+    Raises :class:`CheckpointError` on a missing file, non-checkpoint
+    content, version mismatch, or CRC failure — a half-written or
+    bit-rotted checkpoint must never be restored.
+    """
+    path = Path(path)
+    try:
+        with open(path) as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON (truncated write?)"
+        ) from exc
+    if not isinstance(document, dict) or document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path} is not a {CHECKPOINT_FORMAT} file")
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {document.get('version')}, "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    payload = document.get("payload")
+    body = json.dumps(payload, sort_keys=True)
+    if zlib.crc32(body.encode()) != document.get("crc"):
+        raise CheckpointError(f"checkpoint {path} failed its CRC check")
+    return payload
+
+
+# -- codecs: detector / window / report state <-> JSON-friendly dicts --------
+#
+# Duck-typed on the core objects (a checkpoint is storage's concern, so
+# the codecs live here; repro.core never imports repro.storage).
+
+
+def _encode_counts(counts: CycleCounts) -> list[int]:
+    return [counts.ss, counts.dd, counts.sss, counts.ssd, counts.ddd]
+
+
+def _decode_counts(record: list) -> CycleCounts:
+    return CycleCounts(*record)
+
+
+def _encode_edge_stats(stats: EdgeStats) -> list[int]:
+    return [stats.wr, stats.ww, stats.rw]
+
+
+def _decode_edge_stats(record: list) -> EdgeStats:
+    return EdgeStats(*record)
+
+
+def _encode_patterns(patterns: PatternCounts) -> list[list]:
+    return [[p.value, n] for p, n in sorted(
+        patterns.counts.items(), key=lambda item: item[0].value
+    )]
+
+
+def _decode_patterns(record: list) -> PatternCounts:
+    return PatternCounts(
+        Counter({AnomalyPattern(value): n for value, n in record})
+    )
+
+
+def encode_detector_state(detector) -> dict:
+    """Snapshot a :class:`~repro.core.detector.CycleDetector`: the live
+    graph (adjacency is rebuilt from the labelled edge table), lifetime
+    cycle/pattern counts and pruning bookkeeping.  Labels and BUU ids
+    must be JSON-serializable."""
+    graph = detector.graph
+    pruner = detector.pruner
+    return {
+        "labels": [
+            [src, dst, [[label, kind.value] for label, kind in labels.items()]]
+            for (src, dst), labels in graph.labels.items()
+        ],
+        "present": sorted(graph.present),
+        "starts": [[buu, t] for buu, t in graph.starts.items()],
+        "commits": [[buu, t] for buu, t in graph.commits.items()],
+        "alive": sorted(graph.alive),
+        "edge_count": graph.edge_count,
+        "counts": _encode_counts(detector.counts),
+        "patterns": _encode_patterns(detector.patterns),
+        "edges_since_prune": detector._edges_since_prune,
+        "prune_passes": detector.prune_passes,
+        "pruner_removed_total": 0 if pruner is None else pruner.removed_total,
+        "pruner_removed_by_strategy": (
+            {} if pruner is None else pruner.removed_by_strategy()
+        ),
+    }
+
+
+def decode_detector_state(detector, state: dict) -> None:
+    """Load :func:`encode_detector_state` output into a freshly built,
+    identically configured detector."""
+    graph = detector.graph
+    for src, dst, labels in state["labels"]:
+        table = {label: EdgeType(kind) for label, kind in labels}
+        graph.labels[(src, dst)] = table
+        graph.out[src].add(dst)
+        graph.inc[dst].add(src)
+    graph.present = set(state["present"])
+    graph.starts = {buu: t for buu, t in state["starts"]}
+    graph.commits = {buu: t for buu, t in state["commits"]}
+    graph.alive = set(state["alive"])
+    graph.edge_count = state["edge_count"]
+    detector.counts = _decode_counts(state["counts"])
+    detector.patterns = _decode_patterns(state["patterns"])
+    detector._edges_since_prune = state["edges_since_prune"]
+    detector.prune_passes = state["prune_passes"]
+    pruner = detector.pruner
+    if pruner is not None:
+        pruner.removed_total = state["pruner_removed_total"]
+        by_strategy = state["pruner_removed_by_strategy"]
+        for name in ("ect", "distance"):
+            sub = getattr(pruner, name, None)
+            if sub is not None and name in by_strategy:
+                sub.removed_total = by_strategy[name]
+
+
+def encode_window_state(window) -> dict:
+    """Snapshot a :class:`~repro.core.monitor.WindowTracker`'s open
+    window (raw counts, edge stats, op count, start, pattern baseline)."""
+    return {
+        "raw": _encode_counts(window.raw),
+        "edges": _encode_edge_stats(window.edges),
+        "ops": window.ops,
+        "window_start": window.window_start,
+        "pattern_snapshot": _encode_patterns(window._pattern_snapshot),
+    }
+
+
+def decode_window_state(window, state: dict) -> None:
+    """Load an encode_window_state() dict back into a WindowTracker."""
+    window.raw = _decode_counts(state["raw"])
+    window.edges = _decode_edge_stats(state["edges"])
+    window.ops = state["ops"]
+    window.window_start = state["window_start"]
+    window._pattern_snapshot = _decode_patterns(state["pattern_snapshot"])
+
+
+def encode_report(report: AnomalyReport) -> dict:
+    """Encode one AnomalyReport as a JSON-safe dict."""
+    return {
+        "window_start": report.window_start,
+        "window_end": report.window_end,
+        "estimated_2": report.estimated_2,
+        "estimated_3": report.estimated_3,
+        "raw": _encode_counts(report.raw),
+        "edges": _encode_edge_stats(report.edges),
+        "operations": report.operations,
+        "patterns": report.patterns,
+        "health": report.health,
+    }
+
+
+def decode_report(state: dict) -> AnomalyReport:
+    """Rebuild an AnomalyReport from its encode_report() dict."""
+    return AnomalyReport(
+        window_start=state["window_start"],
+        window_end=state["window_end"],
+        estimated_2=state["estimated_2"],
+        estimated_3=state["estimated_3"],
+        raw=_decode_counts(state["raw"]),
+        edges=_decode_edge_stats(state["edges"]),
+        operations=state["operations"],
+        patterns=state["patterns"],
+        health=state["health"],
+    )
+
+
+def encode_trace(trace) -> dict:
+    """Snapshot a :class:`~repro.sim.traces.Trace` (ops + lifecycle)."""
+    return {
+        "ops": [[op.op.value, op.buu, op.key, op.seq] for op in trace.ops],
+        "begins": [list(pair) for pair in trace.begins],
+        "commits": [list(pair) for pair in trace.commits],
+    }
+
+
+def decode_trace(trace, state: dict) -> None:
+    """Load an encode_trace() dict back into a Trace recorder."""
+    trace.ops = [
+        Operation(OpType(kind), buu, key, seq)
+        for kind, buu, key, seq in state["ops"]
+    ]
+    trace.begins = [tuple(pair) for pair in state["begins"]]
+    trace.commits = [tuple(pair) for pair in state["commits"]]

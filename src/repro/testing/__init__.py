@@ -1,0 +1,11 @@
+"""Test-support machinery that ships with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness used by the
+chaos suite (and usable by operators to rehearse failure modes): named
+injection points inside the concurrent monitoring pipeline can be armed
+to raise, delay, or truncate work, deterministically.
+"""
+
+from repro.testing.faults import Fault, FaultInjector, InjectedFault
+
+__all__ = ["Fault", "FaultInjector", "InjectedFault"]

@@ -1,0 +1,178 @@
+"""Fault injection for the concurrent monitoring pipeline.
+
+Production isolation checkers treat crash-tolerance as first-class:
+Elle runs inside Jepsen's fault-injecting harness, and a monitor that
+quietly stops monitoring is worse than none.  This module provides the
+controlled-failure half of that story: a :class:`FaultInjector` holds a
+set of armed :class:`Fault` descriptions keyed by *injection point*, and
+the pipeline calls :meth:`FaultInjector.fire` at those points.  With no
+injector attached the pipeline pays a single ``is None`` check.
+
+Injection points wired into the pipeline
+----------------------------------------
+
+``collector.handle``
+    Entry of :meth:`~repro.core.concurrent.sharded.ShardedCollector.handle`,
+    *before* the shard lock — a fault here hits the producer thread.
+``journal.drain``
+    Entry of
+    :meth:`~repro.core.concurrent.sharded.ShardedCollector.drain_journal`,
+    before any journal buffer is swapped, so an ``exception`` fault
+    loses nothing.  ``partial_drain`` truncates the drained batch and
+    re-queues the tail (tickets stay ordered).
+``detect.pass``
+    Start of a :class:`~repro.core.concurrent.service.RushMonService`
+    detection pass, before the drain — the supervised-restart path.
+``detect.process``
+    Before each journal event is applied to the detector, mid-pass —
+    exercises the service's re-queue-on-failure crash safety.
+
+Fault kinds
+-----------
+
+``exception``
+    Raise :class:`InjectedFault` (or ``exc_factory()``) at the point.
+``delay``
+    Sleep ``delay`` seconds at the point (overload simulation).
+``partial_drain``
+    Only meaningful at ``journal.drain``: hand the caller the first
+    ``fraction`` of the drained batch and re-queue the rest.
+
+Scheduling: each fault skips its first ``after`` eligible calls, then
+fires on every ``every``-th call, at most ``times`` times.  All
+bookkeeping is under one lock — firing decisions are serialized, so a
+multithreaded run fires exactly the configured number of times.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Fault", "FaultInjector", "InjectedFault", "POINTS"]
+
+#: The injection points the pipeline is instrumented with.
+POINTS = (
+    "collector.handle",
+    "journal.drain",
+    "detect.pass",
+    "detect.process",
+)
+
+#: Fault kinds understood by the call sites.
+KINDS = ("exception", "delay", "partial_drain")
+
+
+class InjectedFault(RuntimeError):
+    """The default exception an ``exception`` fault raises."""
+
+
+@dataclass
+class Fault:
+    """One armed fault at one injection point (see module docstring)."""
+
+    point: str
+    kind: str = "exception"
+    #: Skip this many eligible calls before the fault can fire.
+    after: int = 0
+    #: Fire on every Nth eligible call (1 = every call).
+    every: int = 1
+    #: Maximum number of firings; ``None`` means unlimited.
+    times: int | None = 1
+    #: Seconds to sleep for ``kind="delay"``.
+    delay: float = 0.01
+    #: Fraction of the batch to keep for ``kind="partial_drain"``.
+    fraction: float = 0.5
+    #: Factory for the exception ``kind="exception"`` raises.
+    exc_factory: Callable[[], BaseException] = field(
+        default_factory=lambda: (lambda: InjectedFault("injected fault"))
+    )
+
+    def __post_init__(self) -> None:
+        if self.point not in POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r}; options: {POINTS}"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; options: {KINDS}"
+            )
+        if self.kind == "partial_drain" and self.point != "journal.drain":
+            raise ValueError("partial_drain only applies to journal.drain")
+        if self.after < 0 or self.every < 1:
+            raise ValueError("after must be >= 0 and every >= 1")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 or None")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+
+class _Armed:
+    """Mutable firing state for one armed fault."""
+
+    __slots__ = ("fault", "calls", "fired")
+
+    def __init__(self, fault: Fault) -> None:
+        self.fault = fault
+        self.calls = 0
+        self.fired = 0
+
+    def should_fire(self) -> bool:
+        fault = self.fault
+        if fault.times is not None and self.fired >= fault.times:
+            return False
+        self.calls += 1
+        eligible = self.calls - fault.after
+        if eligible < 1 or eligible % fault.every != 0:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """Thread-safe registry of armed faults, consulted by the pipeline.
+
+    >>> faults = FaultInjector()
+    >>> _ = faults.inject(Fault("detect.pass", kind="exception", times=2))
+    >>> faults.fire("detect.pass").kind
+    'exception'
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, list[_Armed]] = {}
+        self._lock = threading.Lock()
+        self.fired_by_point: dict[str, int] = {}
+
+    def inject(self, fault: Fault) -> "FaultInjector":
+        """Arm one fault; returns self for chaining."""
+        with self._lock:
+            self._armed.setdefault(fault.point, []).append(_Armed(fault))
+        return self
+
+    def fire(self, point: str) -> Fault | None:
+        """Called by the pipeline at ``point``; returns the fault to
+        apply this call, or ``None``.  At most one fault fires per call
+        (the first armed one whose schedule matches)."""
+        with self._lock:
+            armed = self._armed.get(point)
+            if not armed:
+                return None
+            for entry in armed:
+                if entry.should_fire():
+                    self.fired_by_point[point] = (
+                        self.fired_by_point.get(point, 0) + 1
+                    )
+                    return entry.fault
+        return None
+
+    @property
+    def fired_total(self) -> int:
+        with self._lock:
+            return sum(self.fired_by_point.values())
+
+    def reset(self) -> None:
+        """Disarm everything and zero the firing counters."""
+        with self._lock:
+            self._armed.clear()
+            self.fired_by_point.clear()

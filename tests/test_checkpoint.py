@@ -1,0 +1,268 @@
+"""Checkpoint/restore tests for the concurrent service.
+
+The contract: a service killed after a checkpoint and restored from it,
+then fed the remainder of the event stream, ends with exactly the same
+cumulative counts, window partition and (for deterministic single-thread
+runs) MOB reservoir decisions as an uninterrupted run over the same
+stream.  Corrupt or truncated checkpoints are detected, never restored.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.concurrent import RushMonService
+from repro.core.config import RushMonConfig
+from repro.core.monitor import OfflineAnomalyMonitor
+from repro.core.types import Operation, OpType
+from repro.storage.wal import CheckpointError, load_checkpoint, save_checkpoint
+
+
+def _stream(count, num_keys, seed, buus=40):
+    """Deterministic ops + lifecycle events, as (kind, payload) tuples."""
+    rng = random.Random(seed)
+    events = []
+    for b in range(buus):
+        events.append(("begin", (b, b)))
+    for i in range(count):
+        events.append((
+            "op",
+            Operation(
+                OpType.READ if rng.random() < 0.5 else OpType.WRITE,
+                buu=rng.randrange(buus),
+                key=f"k{rng.randrange(num_keys)}",
+                seq=i,
+            ),
+        ))
+    for b in range(buus):
+        events.append(("commit", (b, count + b)))
+    return events
+
+
+def _feed(service, events):
+    for kind, payload in events:
+        if kind == "op":
+            service.on_operation(payload)
+        elif kind == "begin":
+            service.begin_buu(*payload)
+        else:
+            service.commit_buu(*payload)
+
+
+def _run_split(config, events, split, ckpt_path, close_before_checkpoint):
+    """First half into service A, checkpoint, 'kill' A, restore into B,
+    feed the rest, final close.  Returns B."""
+    first, second = events[:split], events[split:]
+    svc = RushMonService(config, num_shards=4, record_trace=True)
+    _feed(svc, first)
+    if close_before_checkpoint:
+        svc.close_window()
+    svc.checkpoint(str(ckpt_path))
+    del svc  # simulated kill: nothing after the checkpoint survives
+    restored = RushMonService.restore(str(ckpt_path))
+    _feed(restored, second)
+    restored.close_window()
+    return restored
+
+
+@pytest.mark.parametrize("close_before_checkpoint", [True, False],
+                         ids=["empty-journal", "pending-journal"])
+def test_restore_matches_uninterrupted_run_sr1(tmp_path,
+                                               close_before_checkpoint):
+    """Kill/restore at sr=1 (with and without pending journal events in
+    the snapshot) reproduces the uninterrupted run's window counts."""
+    config = RushMonConfig(sampling_rate=1, mob=False, seed=3)
+    events = _stream(600, 24, seed=17)
+    restored = _run_split(config, events, split=330,
+                          ckpt_path=tmp_path / "svc.ckpt",
+                          close_before_checkpoint=close_before_checkpoint)
+
+    baseline = RushMonService(config, num_shards=4, record_trace=True)
+    _feed(baseline, events)
+    baseline.close_window()
+
+    assert restored.counts() == baseline.counts()
+    assert restored.cumulative_estimates() == baseline.cumulative_estimates()
+    assert restored.processed_events == baseline.processed_events
+    # Window reports partition the cumulative counts across the kill.
+    total_ops = sum(1 for kind, _ in events if kind == "op")
+    assert sum(r.operations for r in restored.reports) == total_ops
+    assert sum(r.raw.two_cycles for r in restored.reports) == \
+        restored.counts().two_cycles
+    # And the restored trace (pre-kill + post-restore) replays exactly.
+    replayed = OfflineAnomalyMonitor()
+    restored.serialized_trace().replay([replayed])
+    assert replayed.exact_counts() == restored.counts()
+
+
+def test_restore_matches_uninterrupted_run_sampled_mob(tmp_path):
+    """With sr>1 and MOB, restore must also carry the sampler and the
+    reservoir RNG: the restored run's sampled counts stay bit-identical
+    to the uninterrupted run's, not merely statistically close."""
+    config = RushMonConfig(sampling_rate=4, mob=True, seed=11)
+    events = _stream(800, 48, seed=29)
+    restored = _run_split(config, events, split=377,
+                          ckpt_path=tmp_path / "svc.ckpt",
+                          close_before_checkpoint=True)
+
+    baseline = RushMonService(config, num_shards=4, record_trace=True)
+    _feed(baseline, events)
+    baseline.close_window()
+
+    assert restored.counts() == baseline.counts()
+    assert restored.collector.stats == baseline.collector.stats
+    assert restored.collector.touches == baseline.collector.touches
+    assert restored.collector.discarded_reads == \
+        baseline.collector.discarded_reads
+    assert restored.detector.patterns.as_dict() == \
+        baseline.detector.patterns.as_dict()
+
+
+def test_restore_preserves_reports_and_latest(tmp_path):
+    config = RushMonConfig(sampling_rate=1, mob=False, seed=5)
+    svc = RushMonService(config, num_shards=2, record_trace=True)
+    _feed(svc, _stream(200, 12, seed=7))
+    svc.close_window()
+    path = svc.checkpoint(str(tmp_path / "svc.ckpt"))
+    restored = RushMonService.restore(path)
+    assert len(restored.reports) == len(svc.reports)
+    assert restored.latest_report() == svc.latest_report()
+    assert restored.passes == svc.passes
+    assert not restored.stopped  # restored services are usable
+
+
+def test_periodic_checkpointing_and_stop_checkpoint(tmp_path):
+    """checkpoint_interval writes from the background thread; stop()
+    writes a final snapshot that restores to the stopped service's
+    exact final state."""
+    path = tmp_path / "auto.ckpt"
+    config = RushMonConfig(sampling_rate=1, mob=False, seed=9)
+    svc = RushMonService(config, num_shards=2, detect_interval=0.003,
+                         record_trace=True, checkpoint_path=str(path),
+                         checkpoint_interval=1)
+    with svc:
+        _feed(svc, _stream(300, 16, seed=23))
+        import time
+        deadline = time.monotonic() + 10.0
+        while svc.checkpoints_written == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+    assert svc.checkpoints_written >= 2  # at least one periodic + stop()
+    restored = RushMonService.restore(str(path))
+    assert restored.counts() == svc.counts()
+    assert restored.processed_events == svc.processed_events
+
+
+def test_corrupt_or_foreign_checkpoints_are_rejected(tmp_path):
+    path = tmp_path / "svc.ckpt"
+    svc = RushMonService(RushMonConfig(sampling_rate=1, mob=False),
+                         num_shards=2)
+    svc.on_operation(Operation(OpType.WRITE, 1, "x", 1))
+    svc.checkpoint(str(path))
+
+    # Bit-rot: payload altered without updating the CRC.
+    document = json.loads(path.read_text())
+    document["payload"]["processed_events"] = 10_000
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointError, match="CRC"):
+        RushMonService.restore(str(path))
+
+    # Truncation mid-write (non-atomic writer simulation).
+    svc.checkpoint(str(path))
+    path.write_text(path.read_text()[:40])
+    with pytest.raises(CheckpointError, match="JSON"):
+        load_checkpoint(path)
+
+    # A JSON file that is not a checkpoint at all.
+    path.write_text('{"hello": "world"}')
+    with pytest.raises(CheckpointError, match="not a rushmon-checkpoint"):
+        load_checkpoint(path)
+
+    # Missing file.
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_checkpoint(tmp_path / "nope.ckpt")
+
+    # Future version.
+    save_checkpoint(path, {"x": 1})
+    document = json.loads(path.read_text())
+    document["version"] = 99
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointError, match="version"):
+        load_checkpoint(path)
+
+
+_CROSS_PROCESS_SCRIPT = r"""
+import json, sys
+from repro.core.concurrent import RushMonService
+from repro.core.config import RushMonConfig
+from repro.core.monitor import OfflineAnomalyMonitor
+from repro.core.types import Operation, OpType
+import random
+
+def stream(count, num_keys, seed, buus=30):
+    rng = random.Random(seed)
+    events = [("begin", (b, b)) for b in range(buus)]
+    for i in range(count):
+        events.append(("op", (
+            "r" if rng.random() < 0.5 else "w",
+            rng.randrange(buus), f"k{rng.randrange(num_keys)}", i)))
+    return events
+
+def feed(svc, events):
+    for kind, payload in events:
+        if kind == "op":
+            o, buu, key, seq = payload
+            svc.on_operation(Operation(OpType(o), buu, key, seq))
+        else:
+            svc.begin_buu(*payload)
+
+mode, path = sys.argv[1], sys.argv[2]
+config = RushMonConfig(sampling_rate=1, mob=False, seed=3)
+events = stream(400, 20, seed=17)
+if mode == "save":
+    svc = RushMonService(config, num_shards=4, record_trace=True)
+    feed(svc, events[:220])
+    svc.checkpoint(path)
+else:  # restore
+    svc = RushMonService.restore(path)
+    feed(svc, events[220:])
+    svc.close_window()
+    replayed = OfflineAnomalyMonitor()
+    svc.serialized_trace().replay([replayed])
+    assert replayed.exact_counts() == svc.counts(), "differential broken"
+    baseline = RushMonService(config, num_shards=4, record_trace=True)
+    feed(baseline, events)
+    baseline.close_window()
+    assert svc.counts() == baseline.counts(), "diverged from uninterrupted"
+print("OK")
+"""
+
+
+def test_restore_in_a_different_process(tmp_path):
+    """Checkpoints must survive Python's per-process hash randomization:
+    shard bucketing and the degrade filter use a process-stable digest,
+    not builtin hash().  Save under one PYTHONHASHSEED, restore under
+    another, and require both the sr=1 differential and equality with an
+    uninterrupted run."""
+    path = str(tmp_path / "cross.ckpt")
+    for mode, seed in (("save", "1"), ("restore", "99")):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        result = subprocess.run(
+            [sys.executable, "-c", _CROSS_PROCESS_SCRIPT, mode, path],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "OK"
+
+
+def test_save_checkpoint_is_atomic(tmp_path):
+    """A new checkpoint replaces the old one atomically: no temp file
+    residue, and the previous content is never partially overwritten."""
+    path = tmp_path / "svc.ckpt"
+    save_checkpoint(path, {"generation": 1})
+    save_checkpoint(path, {"generation": 2})
+    assert load_checkpoint(path) == {"generation": 2}
+    assert list(tmp_path.iterdir()) == [path]

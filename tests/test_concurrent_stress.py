@@ -173,15 +173,19 @@ def test_raw_sharded_collector_hammer():
     assert merged.num_items <= 64
 
 
-def test_service_stop_is_idempotent_and_drains():
-    """stop() after stop() is safe; late flush picks up stragglers."""
+def test_service_stop_is_idempotent_and_terminal():
+    """stop() after stop() is safe; stop() is terminal — the final drain
+    already ran, so late ingestion and window closes are refused loudly
+    instead of silently post-dating the final counts."""
     service = RushMonService(RushMonConfig(sampling_rate=1, mob=False))
     service.start()
     service.on_operation(Operation(OpType.WRITE, 1, "x", 1))
     service.stop()
     first = service.processed_events
     assert first >= 1
-    service.stop()  # idempotent
-    service.on_operation(Operation(OpType.WRITE, 2, "x", 2))
-    service.flush()
-    assert service.processed_events == first + 1
+    assert service.stop() is service.latest_report()  # idempotent
+    with pytest.raises(RuntimeError, match="stopped"):
+        service.on_operation(Operation(OpType.WRITE, 2, "x", 2))
+    with pytest.raises(RuntimeError, match="stopped"):
+        service.flush()
+    assert service.processed_events == first
