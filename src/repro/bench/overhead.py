@@ -69,6 +69,7 @@ def run_overhead(
     num_shards: int = 16,
     seed: int = 0,
     name: str = "overhead",
+    batch_size: int = 256,
 ) -> list[dict]:
     """Measure monitored vs. unmonitored wall time; prints a table,
     writes ``benchmarks/results/<name>.txt`` and returns rows as dicts.
@@ -100,7 +101,8 @@ def run_overhead(
 
         def timed_service() -> float:
             service = RushMonService(config, num_shards=num_shards,
-                                     detect_interval=0.01)
+                                     detect_interval=0.01,
+                                     batch_size=batch_size)
             start = time.perf_counter()
             with service:
                 driver = ThreadedWorkloadDriver([service],

@@ -46,6 +46,7 @@ def run_thread_scaling(
     num_shards: int = 16,
     seed: int = 0,
     name: str = "thread_scaling",
+    batch_size: int = 256,
 ) -> list[dict]:
     """Run the benchmark; prints a table, writes it to
     ``benchmarks/results/<name>.txt`` and returns the rows as dicts."""
@@ -66,7 +67,8 @@ def run_thread_scaling(
 
     for threads in thread_counts:
         service = RushMonService(config, num_shards=num_shards,
-                                 detect_interval=0.01)
+                                 detect_interval=0.01,
+                                 batch_size=batch_size)
         driver = ThreadedWorkloadDriver([service], num_threads=threads,
                                         seed=seed)
         workload = _workload(buus, keys, touch, seed)

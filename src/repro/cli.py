@@ -21,6 +21,24 @@ from repro.sim import SimConfig, Simulator, read_modify_write
 from repro.sim.traces import Trace
 
 
+def _batch_size(value: str) -> int:
+    """Argparse type for ``--batch-size``: a positive integer."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be an integer, got {value!r} — operations "
+            f"are grouped into batches of this many per ingest call"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be >= 1, got {parsed}; use 1 to process "
+            f"operations individually (the default 256 amortizes one lock "
+            f"acquisition and one detector feed per batch)"
+        )
+    return parsed
+
+
 def _add_monitor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sampling-rate", type=int, default=1,
                         help="item sampling rate sr (p = 1/sr)")
@@ -253,6 +271,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         journal_capacity=args.journal_capacity,
         overflow=args.overflow,
         max_restarts=args.max_restarts,
+        batch_size=args.batch_size,
     )
     exporter = None
     if args.export_port is not None:
@@ -353,11 +372,13 @@ def cmd_bench_overhead(args: argparse.Namespace) -> int:
     rates = [int(v) for v in args.rates.split(",")]
     if args.quick:
         run_overhead(buus=300, keys=128, threads=2,
-                     sampling_rates=rates or (1, 20), repeats=1)
+                     sampling_rates=rates or (1, 20), repeats=1,
+                     batch_size=args.batch_size)
     else:
         run_overhead(buus=args.buus, keys=args.keys, threads=args.threads,
                      sampling_rates=rates, repeats=args.repeats,
-                     num_shards=args.shards, seed=args.seed)
+                     num_shards=args.shards, seed=args.seed,
+                     batch_size=args.batch_size)
     return 0
 
 
@@ -374,8 +395,25 @@ def cmd_bench_threads(args: argparse.Namespace) -> int:
         sampling_rate=args.sampling_rate,
         num_shards=args.shards,
         seed=args.seed,
+        batch_size=args.batch_size,
     )
     return 0
+
+
+def cmd_bench_regress(args: argparse.Namespace) -> int:
+    """Run the pinned-seed ingest regression suite (BENCH_ingest.json)."""
+    from repro.bench.regress import run_regress
+
+    return run_regress(
+        args.out,
+        quick=args.quick,
+        update=args.update,
+        check=args.check,
+        tolerance=args.tolerance,
+        batch_size=args.batch_size,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -444,6 +482,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--sampling-rate", type=int, default=4)
     bench.add_argument("--shards", type=int, default=16)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--batch-size", type=_batch_size, default=256,
+                       help="operations per service ingest batch")
     bench.set_defaults(func=cmd_bench_threads)
 
     mon = sub.add_parser(
@@ -478,6 +518,9 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--max-restarts", type=int, default=5,
                      help="consecutive detection failures before the "
                           "circuit breaker marks the service DEGRADED")
+    mon.add_argument("--batch-size", type=_batch_size, default=256,
+                     help="operations per ingest batch (one lock "
+                          "acquisition and one detector feed per batch)")
     mon.add_argument("--buus", type=int, default=2000)
     mon.add_argument("--keys", type=int, default=64)
     mon.add_argument("--touch", type=int, default=3)
@@ -497,7 +540,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated sampling rates")
     over.add_argument("--shards", type=int, default=16)
     over.add_argument("--seed", type=int, default=0)
+    over.add_argument("--batch-size", type=_batch_size, default=256,
+                      help="operations per service ingest batch")
     over.set_defaults(func=cmd_bench_overhead)
+
+    reg = sub.add_parser(
+        "bench-regress",
+        help="pinned-seed ingest benchmarks vs the committed "
+             "BENCH_ingest.json baseline",
+    )
+    reg.add_argument("--quick", action="store_true",
+                     help="small stream only (what CI runs)")
+    reg.add_argument("--check", action="store_true",
+                     help="fail (exit 1) if the batch-vs-per-op speedup "
+                          "ratios regress beyond --tolerance vs the "
+                          "committed baseline")
+    reg.add_argument("--update", action="store_true",
+                     help="rewrite BENCH_ingest.json with fresh numbers")
+    reg.add_argument("--tolerance", type=float, default=0.30,
+                     help="allowed fractional regression of the speedup "
+                          "ratios in --check mode (default 0.30 = 30%%; "
+                          "raise on noisy runners, lower to tighten)")
+    reg.add_argument("--batch-size", type=_batch_size, default=2048,
+                     help="operations/edges per ingest batch")
+    reg.add_argument("--repeats", type=int, default=3,
+                     help="runs per bench; the minimum is kept")
+    reg.add_argument("--seed", type=int, default=0)
+    reg.add_argument("--out", default="BENCH_ingest.json",
+                     help="results file (committed at the repo root)")
+    reg.set_defaults(func=cmd_bench_regress)
 
     chk = sub.add_parser(
         "check", help="offline serializability check of a trace"

@@ -28,10 +28,18 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.core.types import BuuId, Edge, EdgeStats, EdgeType, Key, Operation
+from repro.core.types import (
+    BuuId,
+    Edge,
+    EdgeStats,
+    EdgeType,
+    Key,
+    Operation,
+    OpType,
+)
 
 
-@dataclass
+@dataclass(slots=True)
 class _FullItemState:
     """Per-item auxiliary state for Algorithm 1 (baseline / ES)."""
 
@@ -39,7 +47,7 @@ class _FullItemState:
     read_ids: set[BuuId] = field(default_factory=set)
 
 
-@dataclass
+@dataclass(slots=True)
 class _MobItemState:
     """Per-item auxiliary state for Algorithm 2 (MOB): a fixed-length
     read array (the paper sizes it by the expected ~2 reads between
@@ -48,6 +56,10 @@ class _MobItemState:
     last_write: BuuId | None = None
     reads: list[BuuId] = field(default_factory=list)
     count: int = 0
+
+
+#: Sentinel for "no previous key" in run-cached sample-membership tests.
+_NO_KEY = object()
 
 
 class Collector:
@@ -62,6 +74,20 @@ class Collector:
         raise NotImplementedError
 
     def handle_all(self, ops: Iterable[Operation]) -> list[Edge]:
+        edges: list[Edge] = []
+        for op in ops:
+            edges.extend(self.handle(op))
+        return edges
+
+    def handle_batch(self, ops: Iterable[Operation]) -> list[Edge]:
+        """Batched :meth:`handle`: feed a sequence of operations, return
+        their edges as one list.
+
+        Subclasses override this with fused loops (hoisted attribute
+        lookups, one output buffer); every override is bit-identical to
+        per-op handling — same edges, counters, and RNG draw order — as
+        enforced by the batch-equivalence test suite.
+        """
         edges: list[Edge] = []
         for op in ops:
             edges.extend(self.handle(op))
@@ -110,6 +136,46 @@ class BaselineCollector(Collector):
             state.last_write = op.buu
         return out
 
+    def handle_batch(self, ops: Iterable[Operation]) -> list[Edge]:
+        if not isinstance(ops, (list, tuple)):
+            ops = list(ops)
+        n = len(ops)
+        self.ops_seen += n
+        self.touches += n
+        out: list[Edge] = []
+        append = out.append
+        items = self._items
+        stats = self.stats
+        READ = OpType.READ
+        WR, WW, RW = EdgeType.WR, EdgeType.WW, EdgeType.RW
+        new = tuple.__new__
+        for op in ops:
+            _kind, buu, key, seq = op
+            state = items.get(key)
+            if state is None:
+                state = _FullItemState()
+                items[key] = state
+            lw = state.last_write
+            if _kind is READ:
+                if lw is not None and lw != buu:
+                    stats.wr += 1
+                    append(new(Edge, (lw, buu, WR, key, seq)))
+                state.read_ids.add(buu)
+            else:
+                read_ids = state.read_ids
+                if not read_ids:
+                    if lw is not None and lw != buu:
+                        stats.ww += 1
+                        append(new(Edge, (lw, buu, WW, key, seq)))
+                else:
+                    for reader in read_ids:
+                        if reader != buu:
+                            stats.rw += 1
+                            append(new(Edge, (reader, buu, RW, key, seq)))
+                    read_ids.clear()
+                state.last_write = buu
+        return out
+
 
 class EdgeSamplingCollector(BaselineCollector):
     """Section 4.2's strawman: uniform per-edge sampling ("ES").
@@ -143,6 +209,17 @@ class EdgeSamplingCollector(BaselineCollector):
             if edge not in kept:
                 self._unrecord(edge.kind)
         return kept
+
+    def handle_batch(self, ops: Iterable[Operation]) -> list[Edge]:
+        if self.sampling_rate == 1:
+            return BaselineCollector.handle_batch(self, ops)
+        # Sampled ES must draw its coin per edge in per-op order to stay
+        # bit-identical; ES is the paper's strawman, not a fast path.
+        out: list[Edge] = []
+        handle = self.handle
+        for op in ops:
+            out.extend(handle(op))
+        return out
 
     def _unrecord(self, kind: EdgeType) -> None:
         if kind is EdgeType.WR:
@@ -189,6 +266,10 @@ class ItemSampler:
         self._salt = seed
         self._chosen: set[Key] | None = None
         self._universe: list[Key] | None = None
+        # Memo of hash-mode decisions.  chosen() is pure in (key, salt,
+        # sampling_rate), so caching never changes a decision; the cache
+        # is dropped whenever any of those inputs changes.
+        self._memo: dict[Key, bool] = {}
 
     @property
     def probability(self) -> float:
@@ -211,6 +292,7 @@ class ItemSampler:
 
     def reseed(self, new_salt: int) -> None:
         self._salt = new_salt
+        self._memo.clear()
         if self._universe is not None:
             self._resample_materialized()
 
@@ -219,9 +301,14 @@ class ItemSampler:
             return True
         if self._chosen is not None:
             return key in self._chosen
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         digest = zlib.crc32(repr(key).encode())
         mixed = _splitmix64(digest ^ (self._salt * 0x9E3779B97F4A7C15))
-        return mixed % self.sampling_rate == 0
+        decision = mixed % self.sampling_rate == 0
+        self._memo[key] = decision
+        return decision
 
     # -- checkpoint support ----------------------------------------------------
 
@@ -242,6 +329,7 @@ class ItemSampler:
         self._universe = state["universe"]
         chosen = state["chosen"]
         self._chosen = None if chosen is None else set(chosen)
+        self._memo.clear()
 
 
 class CollectorShard:
@@ -293,6 +381,20 @@ class CollectorShard:
         """Bookkeep one operation on an already-chosen item."""
         self.touches += 1
         return self._handle_mob(op) if self.mob else self._handle_full(op)
+
+    def handle_batch(self, ops, out: list[Edge]) -> None:
+        """Fused :meth:`handle` over a sequence of already-chosen
+        operations, appending emitted edges to ``out``.
+
+        Bit-identical to per-op handling: same RNG draw order (one
+        reservoir/discard coin per op, in op order) and the ww discard
+        coin reads the *live* discard ratio, not a batch-start snapshot.
+        """
+        self.touches += len(ops)
+        if self.mob:
+            self._handle_mob_batch(ops, out)
+        else:
+            self._handle_full_batch(ops, out)
 
     def clear_items(self) -> None:
         """Drop all per-item state (sample switches, §5.1)."""
@@ -402,6 +504,61 @@ class CollectorShard:
             state.last_write = op.buu
         return out
 
+    def _handle_mob_batch(self, ops, out: list[Edge]) -> None:
+        items = self._mob_items
+        rng_random = self._rng.random
+        rng_randrange = self._rng.randrange
+        slots = self.mob_slots
+        stats = self.stats
+        append = out.append
+        READ = OpType.READ
+        WR, WW, RW = EdgeType.WR, EdgeType.WW, EdgeType.RW
+        new = tuple.__new__
+        # The running read totals feed the live discard ratio, so they are
+        # carried in locals and written back once at the end of the batch —
+        # the values observed at each write are identical to per-op handling.
+        total_reads = self.total_reads
+        discarded_reads = self.discarded_reads
+        for op in ops:
+            _kind, buu, key, seq = op
+            state = items.get(key)
+            if state is None:
+                state = _MobItemState()
+                items[key] = state
+            lw = state.last_write
+            if _kind is READ:
+                total_reads += 1
+                count = state.count + 1
+                state.count = count
+                reads = state.reads
+                if len(reads) < slots:
+                    reads.append(buu)
+                elif rng_random() < slots / count:
+                    reads[rng_randrange(slots)] = buu
+                if lw is not None and lw != buu:
+                    stats.wr += 1
+                    append(new(Edge, (lw, buu, WR, key, seq)))
+            else:
+                count = state.count
+                if count == 0:
+                    ratio = discarded_reads / total_reads if total_reads else 0.0
+                    if rng_random() >= ratio:
+                        if lw is not None and lw != buu:
+                            stats.ww += 1
+                            append(new(Edge, (lw, buu, WW, key, seq)))
+                else:
+                    reads = state.reads
+                    discarded_reads += count - len(reads)
+                    for reader in dict.fromkeys(reads):
+                        if reader != buu:
+                            stats.rw += 1
+                            append(new(Edge, (reader, buu, RW, key, seq)))
+                    state.reads = []
+                    state.count = 0
+                state.last_write = buu
+        self.total_reads = total_reads
+        self.discarded_reads = discarded_reads
+
     # -- full readIDs bookkeeping (DCS without MOB) --------------------------
 
     def _handle_full(self, op: Operation) -> list[Edge]:
@@ -423,6 +580,42 @@ class CollectorShard:
             state.read_ids.clear()
             state.last_write = op.buu
         return out
+
+    def _handle_full_batch(self, ops, out: list[Edge]) -> None:
+        items = self._full_items
+        stats = self.stats
+        append = out.append
+        READ = OpType.READ
+        WR, WW, RW = EdgeType.WR, EdgeType.WW, EdgeType.RW
+        new = tuple.__new__
+        total_reads = self.total_reads
+        for op in ops:
+            _kind, buu, key, seq = op
+            state = items.get(key)
+            if state is None:
+                state = _FullItemState()
+                items[key] = state
+            lw = state.last_write
+            if _kind is READ:
+                total_reads += 1
+                if lw is not None and lw != buu:
+                    stats.wr += 1
+                    append(new(Edge, (lw, buu, WR, key, seq)))
+                state.read_ids.add(buu)
+            else:
+                read_ids = state.read_ids
+                if not read_ids:
+                    if lw is not None and lw != buu:
+                        stats.ww += 1
+                        append(new(Edge, (lw, buu, WW, key, seq)))
+                else:
+                    for reader in read_ids:
+                        if reader != buu:
+                            stats.rw += 1
+                            append(new(Edge, (reader, buu, RW, key, seq)))
+                    read_ids.clear()
+                state.last_write = buu
+        self.total_reads = total_reads
 
 
 class DataCentricCollector(Collector):
@@ -516,6 +709,47 @@ class DataCentricCollector(Collector):
         if self._resample_interval and self.ops_seen % self._resample_interval == 0:
             self._switch_sample()
         return edges
+
+    def handle_batch(self, ops: Iterable[Operation]) -> list[Edge]:
+        """Batched ingest (the DCS fast path).
+
+        Membership in the chosen-item sample is tested once per item
+        *run* (consecutive ops on the same key share one lookup), the
+        chosen subsequence feeds the shard's fused loop in one call, and
+        edges land in a single output buffer.  Bit-identical to per-op
+        :meth:`handle`; when periodic re-sampling is configured the
+        batch falls back to the per-op path so sample switches trigger
+        at exactly the same operation indexes.
+        """
+        if not isinstance(ops, (list, tuple)):
+            ops = list(ops)
+        if self._resample_interval:
+            out: list[Edge] = []
+            handle = self.handle
+            for op in ops:
+                out.extend(handle(op))
+            return out
+        self.ops_seen += len(ops)
+        out = []
+        sampler = self.sampler
+        if sampler.sampling_rate == 1:
+            self.shard.handle_batch(ops, out)
+            return out
+        chosen = sampler.chosen
+        picked: list[Operation] = []
+        append = picked.append
+        last_key: object = _NO_KEY
+        last_choice = False
+        for op in ops:
+            key = op.key
+            if key != last_key:
+                last_key = key
+                last_choice = chosen(key)
+            if last_choice:
+                append(op)
+        if picked:
+            self.shard.handle_batch(picked, out)
+        return out
 
     def _switch_sample(self) -> None:
         self._resample_epoch += 1

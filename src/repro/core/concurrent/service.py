@@ -72,6 +72,12 @@ from repro.obs.instrument import instrument_detector
 from repro.obs.metrics import MetricsRegistry
 from repro.storage import wal
 
+#: Default ops per ingest/detect batch.  Big enough to amortize lock
+#: acquisitions and detector dispatch, small enough that a pass's
+#: incremental progress (crash-safe consumed-count advancement) stays
+#: fine-grained.
+DEFAULT_BATCH_SIZE = 256
+
 _log = logging.getLogger(__name__)
 
 
@@ -142,11 +148,19 @@ class RushMonService:
         max_backoff: float = 2.0,
         checkpoint_path: str | None = None,
         checkpoint_interval: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
         faults=None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if detect_interval <= 0:
             raise ValueError("detect_interval must be > 0")
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ValueError(
+                f"batch_size must be an integer >= 1 (ops per shard-lock "
+                f"acquisition on ingest and per detector feed on the "
+                f"detection pass), got {batch_size!r}; the default "
+                f"{DEFAULT_BATCH_SIZE} suits most workloads"
+            )
         if max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
         if restart_backoff <= 0 or max_backoff <= 0:
@@ -168,6 +182,7 @@ class RushMonService:
                 "resample_interval=None."
             )
         self.detect_interval = detect_interval
+        self.batch_size = batch_size
         self.max_restarts = max_restarts
         self.restart_backoff = restart_backoff
         self.max_backoff = max_backoff
@@ -479,9 +494,19 @@ class RushMonService:
         self.collector.handle(op)
 
     def on_operations(self, ops: Iterable[Operation]) -> None:
+        """Observe a sequence of operations; ingested through the
+        collector's batched path in :attr:`batch_size` chunks (one
+        shard-lock acquisition per shard per chunk)."""
         self._ensure_accepting()
-        for op in ops:
-            self.collector.handle(op)
+        if not isinstance(ops, (list, tuple)):
+            ops = list(ops)
+        size = self.batch_size
+        handle_batch = self.collector.handle_batch
+        if len(ops) <= size:
+            handle_batch(ops)
+            return
+        for start in range(0, len(ops), size):
+            handle_batch(ops[start:start + size])
 
     def begin_buu(self, buu: BuuId, start_time: int = 0) -> None:
         self._ensure_accepting()
@@ -502,6 +527,23 @@ class RushMonService:
         else:
             raise fault.exc_factory()
 
+    def _apply_op_run(self, events: list, start: int, stop: int,
+                      edges: list) -> None:
+        """Apply a run of journal EV_OP events ``[start, stop)`` as one
+        batch: the run's (already ticket-restamped) edges feed the
+        detector in a single ``add_edge_batch`` call, then op/trace
+        bookkeeping advances.  The detector feed runs first so a failure
+        consumes nothing from the run — re-feeding the same edges after
+        a requeue is idempotent (the live graph deduplicates)."""
+        self._window.observe_edges(edges)
+        self._window.observe_operations(stop - start)
+        if self._trace is not None:
+            ops_append = self._trace.ops.append
+            for i in range(start, stop):
+                event = events[i]
+                ops_append(event[2]._replace(seq=event[0]))
+        self._clock = events[stop - 1][0]
+
     def _detect_pass(self) -> AnomalyReport | None:
         """Drain the journal, feed the detector in ticket order, close a
         window.  Serialized by ``_pass_lock`` so an explicit
@@ -513,6 +555,12 @@ class RushMonService:
         no acknowledged events.  Re-processing the event that was in
         flight is idempotent for cycle counts (the live graph
         deduplicates edges).
+
+        With no fault injector armed, runs of consecutive operation
+        events feed the detector through :meth:`CycleDetector.add_edge_batch`
+        in :attr:`batch_size` chunks (``consumed`` advances only after a
+        chunk is fully applied); with faults armed, the exact per-event
+        path runs so injection points fire per event.
         """
         with self._pass_lock:
             started = time.perf_counter()
@@ -521,29 +569,79 @@ class RushMonService:
             events = self.collector.drain_journal()
             consumed = 0
             try:
-                for ticket, kind, payload, extra in events:
-                    if self._faults is not None:
+                if self._faults is None:
+                    size = self.batch_size
+                    detector = self.detector
+                    trace = self._trace
+                    n = len(events)
+                    run_start = 0
+                    in_run = False
+                    pend_edges: list = []
+                    restamp = pend_edges.append
+                    for i in range(n):
+                        ticket, kind, payload, extra = events[i]
+                        if kind == EV_OP:
+                            if not in_run:
+                                in_run = True
+                                run_start = i
+                            if extra:
+                                # Re-stamp with the ticket: the
+                                # detector's logical clock (window ends,
+                                # prune 'now') must follow the
+                                # serialized order, not producer seqs.
+                                for edge in extra:
+                                    restamp(edge._replace(seq=ticket))
+                            if i + 1 - run_start >= size:
+                                self._apply_op_run(events, run_start, i + 1,
+                                                   pend_edges)
+                                consumed = i + 1
+                                in_run = False
+                                pend_edges = []
+                                restamp = pend_edges.append
+                        else:
+                            if in_run:
+                                self._apply_op_run(events, run_start, i,
+                                                   pend_edges)
+                                in_run = False
+                                pend_edges = []
+                                restamp = pend_edges.append
+                            if kind == EV_BEGIN:
+                                detector.begin_buu(payload, ticket)
+                                if trace is not None:
+                                    trace.begins.append((payload, ticket))
+                            else:
+                                detector.commit_buu(payload, ticket)
+                                if trace is not None:
+                                    trace.commits.append((payload, ticket))
+                            consumed = i + 1
+                            self._clock = ticket
+                    if in_run:
+                        self._apply_op_run(events, run_start, n, pend_edges)
+                        consumed = n
+                else:
+                    for ticket, kind, payload, extra in events:
                         self._fire_fault("detect.process")
-                    if kind == EV_OP:
-                        self._window.observe_operation()
-                        if self._trace is not None:
-                            self._trace.ops.append(replace(payload, seq=ticket))
-                        for edge in extra:
-                            # Re-stamp with the ticket: the detector's
-                            # logical clock (window ends, prune 'now')
-                            # must follow the serialized order, not the
-                            # producers' own seqs.
-                            self._window.observe_edge(replace(edge, seq=ticket))
-                    elif kind == EV_BEGIN:
-                        self.detector.begin_buu(payload, ticket)
-                        if self._trace is not None:
-                            self._trace.begins.append((payload, ticket))
-                    else:
-                        self.detector.commit_buu(payload, ticket)
-                        if self._trace is not None:
-                            self._trace.commits.append((payload, ticket))
-                    consumed += 1
-                    self._clock = ticket
+                        if kind == EV_OP:
+                            self._window.observe_operation()
+                            if self._trace is not None:
+                                self._trace.ops.append(
+                                    payload._replace(seq=ticket)
+                                )
+                            for edge in extra:
+                                # Re-stamp with the ticket (see above).
+                                self._window.observe_edge(
+                                    edge._replace(seq=ticket)
+                                )
+                        elif kind == EV_BEGIN:
+                            self.detector.begin_buu(payload, ticket)
+                            if self._trace is not None:
+                                self._trace.begins.append((payload, ticket))
+                        else:
+                            self.detector.commit_buu(payload, ticket)
+                            if self._trace is not None:
+                                self._trace.commits.append((payload, ticket))
+                        consumed += 1
+                        self._clock = ticket
             except BaseException:
                 if consumed < len(events):
                     self.collector.requeue(events[consumed:])
@@ -634,6 +732,7 @@ class RushMonService:
                     "restart_backoff": self.restart_backoff,
                     "max_backoff": self.max_backoff,
                     "record_trace": self._record_trace,
+                    "batch_size": self.batch_size,
                 },
                 "collector": self.collector.snapshot_state(),
                 "detector": wal.encode_detector_state(self.detector),
@@ -681,6 +780,8 @@ class RushMonService:
             max_restarts=saved["max_restarts"],
             restart_backoff=saved["restart_backoff"],
             max_backoff=saved["max_backoff"],
+            # .get(): pre-batching checkpoints lack the key.
+            batch_size=saved.get("batch_size", DEFAULT_BATCH_SIZE),
             checkpoint_path=checkpoint_path,
             checkpoint_interval=checkpoint_interval,
             faults=faults,

@@ -95,6 +95,62 @@ class JournalBackpressure(RuntimeError):
     ``block_timeout`` under the ``"block"`` overflow policy."""
 
 
+#: Shared empty edge list for journaled non-sampled operations (consumers
+#: only iterate extras, so one immutable tuple serves every such event).
+_NO_EDGES: tuple = ()
+
+
+class ShardJournal:
+    """Struct-of-arrays journal buffer for one shard.
+
+    Instead of a list of event tuples, four parallel arrays (tickets,
+    kinds, payloads, extras) — batch appends become four C-level
+    ``list.extend`` calls instead of N tuple allocations + appends, and
+    the drain's swap is four pointer exchanges.  Events materialize back
+    into ``(ticket, kind, payload, extra)`` tuples only at drain time,
+    outside the shard locks.
+    """
+
+    __slots__ = ("tickets", "kinds", "payloads", "extras")
+
+    def __init__(self) -> None:
+        self.tickets: list[int] = []
+        self.kinds: list[str] = []
+        self.payloads: list = []
+        self.extras: list = []
+
+    def __len__(self) -> int:
+        return len(self.tickets)
+
+    def append(self, ticket: int, kind: str, payload, extra) -> None:
+        self.tickets.append(ticket)
+        self.kinds.append(kind)
+        self.payloads.append(payload)
+        self.extras.append(extra)
+
+    def swap_arrays(self) -> tuple[list, list, list, list]:
+        """Detach and return the four arrays (caller holds the shard
+        lock; zipping back into event tuples happens outside it)."""
+        arrays = (self.tickets, self.kinds, self.payloads, self.extras)
+        self.tickets = []
+        self.kinds = []
+        self.payloads = []
+        self.extras = []
+        return arrays
+
+    def prepend(self, events: list[tuple]) -> None:
+        """Splice already-drained event tuples back at the front."""
+        self.tickets[:0] = [e[0] for e in events]
+        self.kinds[:0] = [e[1] for e in events]
+        self.payloads[:0] = [e[2] for e in events]
+        self.extras[:0] = [e[3] for e in events]
+
+    def events(self) -> list[tuple]:
+        """Materialize the buffered events as tuples (checkpointing)."""
+        return list(zip(self.tickets, self.kinds, self.payloads,
+                        self.extras))
+
+
 class _Shard:
     """One lock-protected partition: bookkeeping state + journal buffer.
 
@@ -112,7 +168,7 @@ class _Shard:
         self.lock = threading.Lock()
         self.not_full = threading.Condition(self.lock)
         self.state = state
-        self.journal: list[tuple] = []
+        self.journal = ShardJournal()
         self.ops_seen = 0
         self.journal_highwater = 0
         self.shed = 0
@@ -212,6 +268,10 @@ class ShardedCollector:
         if block_timeout <= 0:
             raise ValueError("block_timeout must be > 0")
         self.num_shards = num_shards
+        # Power-of-two shard counts bucket interned int keys with a mask.
+        self._shard_mask = (
+            num_shards - 1 if num_shards & (num_shards - 1) == 0 else None
+        )
         # The sampler is shared: chosen() is a pure function of
         # (key, salt) — or a frozen materialized set — so concurrent
         # reads need no lock.
@@ -352,7 +412,19 @@ class ShardedCollector:
         new process must look keys up in the same buckets.  Builtin
         ``hash()`` is randomized per process (PYTHONHASHSEED), so the
         digest is CRC-of-repr like :meth:`ItemSampler.chosen`.
+
+        Int keys (e.g. interned via
+        :class:`~repro.core.types.KeyInterner`) take a fast path: dense
+        ids bucket perfectly with ``id & mask`` when ``num_shards`` is a
+        power of two, skipping the repr+CRC entirely.  Both paths are
+        process-stable; shard *placement* never affects counts, only
+        contention.
         """
+        if type(key) is int:
+            mask = self._shard_mask
+            if mask is not None:
+                return key & mask
+            return _splitmix64(key) % self.num_shards
         return _splitmix64(zlib.crc32(repr(key).encode())) % self.num_shards
 
     # -- sampling (base sample x degrade filter) ------------------------------
@@ -464,7 +536,7 @@ class ShardedCollector:
                     # edges from a stale lastWrite.
                     shard.state.drop_item(op.key)
             if self._journal:
-                shard.journal.append((next(self._ticket), EV_OP, op, edges))
+                shard.journal.append(next(self._ticket), EV_OP, op, edges)
                 depth = len(shard.journal)
                 if depth > shard.journal_highwater:
                     shard.journal_highwater = depth
@@ -486,6 +558,108 @@ class ShardedCollector:
             edges.extend(self.handle(op))
         return edges
 
+    def handle_batch(self, ops: Iterable[Operation]) -> list[Edge]:
+        """Batched ingest: group the operations by owning shard and
+        acquire each shard's lock **once per batch** instead of once per
+        operation.
+
+        Returned edges are grouped by shard (a key lives in exactly one
+        shard, so per-key order — the only order bookkeeping depends on
+        — is preserved); aggregate counts, journal contents and RNG
+        draws are identical to per-op :meth:`handle`.  Journal tickets
+        for a shard's group are drawn under that shard's lock, so the
+        drain's complete-prefix guarantee holds unchanged.
+
+        Falls back to the per-op path when fault injection, a bounded
+        journal, or degrade mode is active: those features make
+        per-event decisions (injection points, overflow policy, item
+        drops) that must not be coarsened — in particular, a ``"block"``
+        producer must never wait for a drain while sitting on a shard
+        lock for a whole batch.
+        """
+        if not isinstance(ops, (list, tuple)):
+            ops = list(ops)
+        if (
+            self._faults is not None
+            or self._shard_capacity is not None
+            or self._degrade_shift
+        ):
+            out: list[Edge] = []
+            handle = self.handle
+            for op in ops:
+                out.extend(handle(op))
+            return out
+        num = self.num_shards
+        if num == 1:
+            groups: list = [ops]
+        else:
+            sidx = self.shard_index
+            groups = [[] for _ in range(num)]
+            for op in ops:
+                groups[sidx(op.key)].append(op)
+        out = []
+        journaling = self._journal
+        all_chosen = self.sampler.sampling_rate == 1
+        chosen = self.sampler.chosen
+        ticket = self._ticket
+        lock_wait = self._m_lock_wait
+        sampled = 0
+        for i, group in enumerate(groups):
+            if not group:
+                continue
+            shard = self._shards[i]
+            if lock_wait is not None:
+                waited = time.perf_counter()
+                shard.lock.acquire()
+                lock_wait.inc(time.perf_counter() - waited)
+            else:
+                shard.lock.acquire()
+            try:
+                shard.ops_seen += len(group)
+                state = shard.state
+                if journaling:
+                    # The journal needs each op's own edge list, so the
+                    # shard state is fed per op; the batch still saves
+                    # the lock churn and appends the journal arrays in
+                    # four C-level extends.
+                    handle_one = state.handle
+                    extras = []
+                    ex_append = extras.append
+                    for op in group:
+                        if all_chosen or chosen(op.key):
+                            edges = handle_one(op)
+                            sampled += 1
+                            if edges:
+                                out.extend(edges)
+                            ex_append(edges)
+                        else:
+                            ex_append(_NO_EDGES)
+                    j = shard.journal
+                    j.tickets.extend(itertools.islice(ticket, len(group)))
+                    j.kinds.extend([EV_OP] * len(group))
+                    j.payloads.extend(group)
+                    j.extras.extend(extras)
+                    depth = len(j)
+                    if depth > shard.journal_highwater:
+                        shard.journal_highwater = depth
+                else:
+                    if all_chosen:
+                        picked = group
+                    else:
+                        picked = [op for op in group if chosen(op.key)]
+                    sampled += len(picked)
+                    if picked:
+                        state.handle_batch(picked, out)
+            finally:
+                shard.lock.release()
+        if self._m_ops is not None:
+            self._m_ops.inc(len(ops))
+            if sampled:
+                self._m_sampled.inc(sampled)  # type: ignore[union-attr]
+            if out:
+                self._m_edges.inc(len(out))  # type: ignore[union-attr]
+        return out
+
     def record_lifecycle(self, kind: str, buu: int, time: int) -> None:
         """Journal a BUU ``begin``/``commit`` event (routed by BUU hash so
         the ticket is assigned under some shard lock).  Subject to the
@@ -501,7 +675,7 @@ class ShardedCollector:
                 and not self._resolve_overflow(shard, False)
             ):
                 return
-            shard.journal.append((next(self._ticket), kind, buu, time))
+            shard.journal.append(next(self._ticket), kind, buu, time)
             depth = len(shard.journal)
             if depth > shard.journal_highwater:
                 shard.journal_highwater = depth
@@ -526,13 +700,15 @@ class ShardedCollector:
         for shard in self._shards:
             shard.lock.acquire()
         try:
-            batches = [shard.journal for shard in self._shards]
+            # The swap is four pointer exchanges per shard; event tuples
+            # materialize below, after every lock is released.
+            arrays = [shard.journal.swap_arrays() for shard in self._shards]
             for shard in self._shards:
-                shard.journal = []
                 shard.not_full.notify_all()
         finally:
             for shard in reversed(self._shards):
                 shard.lock.release()
+        batches = [list(zip(*a)) for a in arrays if a[0]]
         # Each batch is ticket-sorted (appended in issue order under the
         # lock); tickets are unique, so the merge is a total order.
         merged = list(heapq.merge(*batches))
@@ -558,7 +734,7 @@ class ShardedCollector:
             return
         shard = self._shards[0]
         with shard.lock:
-            shard.journal[:0] = events
+            shard.journal.prepend(events)
             depth = len(shard.journal)
             if depth > shard.journal_highwater:
                 shard.journal_highwater = depth
@@ -595,7 +771,9 @@ class ShardedCollector:
                     "shed": shard.shed,
                     "shed_sampled": shard.shed_sampled,
                     "state": shard.state.to_state(),
-                    "journal": [_encode_event(e) for e in shard.journal],
+                    "journal": [
+                        _encode_event(e) for e in shard.journal.events()
+                    ],
                 }
                 for shard in self._shards
             ]
@@ -634,9 +812,10 @@ class ShardedCollector:
                 shard.shed = payload["shed"]
                 shard.shed_sampled = payload["shed_sampled"]
                 shard.state.load_state(payload["state"])
-                shard.journal = [
-                    _decode_event(e) for e in payload["journal"]
-                ]
+                journal = ShardJournal()
+                for record in payload["journal"]:
+                    journal.append(*_decode_event(record))
+                shard.journal = journal
 
     # -- aggregate views ------------------------------------------------------
 

@@ -13,10 +13,15 @@ times are retained (cheap ints) so pruning decisions stay well defined.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 
 from repro.core.patterns import PatternCounts, classify_two_cycle
 from repro.core.types import BuuId, CycleCounts, Edge, EdgeType, Key
+
+# Shared sentinel for "no parallel edges" lookups in the fused batch loop.
+# Never mutated; .keys() of an empty dict is a valid empty set-like view.
+_EMPTY_LABELS: dict = {}
 
 
 class LiveGraph:
@@ -37,22 +42,50 @@ class LiveGraph:
         self.commits: dict[BuuId, int] = {}
         self.alive: set[BuuId] = set()
         self.edge_count = 0
+        # Lazily-compacted min-heap over (start, buu) for alive vertices.
+        # Entries go stale when a BUU commits; active_time() pops them on
+        # demand instead of rescanning every alive vertex per call.
+        self._active_heap: list[tuple[int, BuuId]] = []
 
     # -- lifecycle -----------------------------------------------------------
 
     def begin(self, buu: BuuId, start_time: int) -> None:
-        self.starts.setdefault(buu, start_time)
+        start = self.starts.setdefault(buu, start_time)
         self.alive.add(buu)
+        heapq.heappush(self._active_heap, (start, buu))
 
     def commit(self, buu: BuuId, commit_time: int) -> None:
         self.commits[buu] = commit_time
         self.alive.discard(buu)
 
     def active_time(self, default: int = 0) -> float:
-        """The paper's ``t_active``: earliest start among alive vertices."""
-        if not self.alive:
+        """The paper's ``t_active``: earliest start among alive vertices.
+
+        Amortized O(log |alive|): stale heap entries (committed BUUs) are
+        popped lazily; each begin() pushes exactly one entry, so total pop
+        work is bounded by total begins.
+        """
+        alive = self.alive
+        if not alive:
             return float(default)
-        return float(min(self.starts.get(v, default) for v in self.alive))
+        heap = self._active_heap
+        starts = self.starts
+        while heap:
+            start, buu = heap[0]
+            if buu in alive and starts.get(buu) == start:
+                return float(start)
+            heapq.heappop(heap)
+        # Heap exhausted while vertices are alive: state was installed
+        # directly (checkpoint restore assigns `alive`/`starts` wholesale).
+        # Rebuild the index from the alive set.
+        if any(v not in starts for v in alive):
+            # Degenerate case (alive vertex with no recorded start):
+            # fall back to the exact scan without caching.
+            return float(min(starts.get(v, default) for v in alive))
+        for v in alive:
+            heap.append((starts[v], v))
+        heapq.heapify(heap)
+        return float(heap[0][0])
 
     def commit_time(self, buu: BuuId) -> float:
         return float(self.commits.get(buu, float("inf")))
@@ -87,14 +120,25 @@ class LiveGraph:
         return self.labels.get((src, dst), {}).get(label)
 
     def remove_vertex(self, v: BuuId) -> None:
-        for succ in list(self.out.get(v, ())):
-            self.edge_count -= len(self.labels.pop((v, succ), ()))
-            self.inc[succ].discard(v)
-        for pred in list(self.inc.get(v, ())):
-            self.edge_count -= len(self.labels.pop((pred, v), ()))
-            self.out[pred].discard(v)
-        self.out.pop(v, None)
-        self.inc.pop(v, None)
+        labels = self.labels
+        out = self.out
+        inc = self.inc
+        removed = 0
+        succs = out.pop(v, None)
+        if succs:
+            for succ in succs:
+                removed += len(labels.pop((v, succ), ()))
+                neigh = inc.get(succ)
+                if neigh is not None:
+                    neigh.discard(v)
+        preds = inc.pop(v, None)
+        if preds:
+            for pred in preds:
+                removed += len(labels.pop((pred, v), ()))
+                neigh = out.get(pred)
+                if neigh is not None:
+                    neigh.discard(v)
+        self.edge_count -= removed
         self.present.discard(v)
 
     def num_vertices(self) -> int:
@@ -146,7 +190,8 @@ class CycleDetector:
         new = CycleCounts()
         if not self.graph.add_edge(edge.src, edge.dst, edge.label, edge.kind):
             return new
-        self._count_new_cycles(edge.src, edge.dst, edge.label, edge.kind, new)
+        self._count_new_cycles(edge.src, edge.dst, edge.label, edge.kind, new,
+                               self.patterns.record)
         self.counts.add(new)
         self._edges_since_prune += 1
         if self.pruner is not None and self._edges_since_prune >= self.prune_interval:
@@ -159,8 +204,114 @@ class CycleDetector:
             total.add(self.add_edge(edge))
         return total
 
+    def add_edge_batch(self, edges) -> CycleCounts:
+        """Batched :meth:`add_edge`: ingest a sequence of edges, returning
+        the new cycles they closed as one aggregate.
+
+        Identical cycle/pattern/stat results to per-edge ingestion, but
+        the per-edge ``CycleCounts`` allocation is replaced by a single
+        accumulator, pattern recording is deferred to one
+        ``Counter.update`` at the batch boundary, and the prune-interval
+        check runs once per batch instead of once per edge.  Deferring
+        pruning is count-preserving: safe pruning (§5.3) only removes
+        vertices that cannot join future short cycles, so running it at
+        the batch boundary instead of mid-batch never changes counts.
+
+        The graph insertion (:meth:`LiveGraph.add_edge`) and the cycle
+        counting (:meth:`_count_new_cycles`) are fused into one loop
+        over hoisted dict locals — the logic is a line-for-line copy of
+        those two methods, kept in sync by the batch-equivalence tests.
+        """
+        total = CycleCounts()
+        graph = self.graph
+        labels_map = graph.labels
+        out_map = graph.out
+        inc_map = graph.inc
+        present_add = graph.present.add
+        count_three = self.count_three
+        classify2 = classify_two_cycle
+        pending: list = []
+        record = pending.append
+        added = 0
+        last_seq = 0
+        ss = dd = sss_t = ssd_t = ddd_t = 0
+        empty = _EMPTY_LABELS
+        for edge in edges:
+            src, dst, kind, label, seq = edge
+            if src == dst:
+                continue
+            key = (src, dst)
+            labels = labels_map.get(key)
+            if labels is None:
+                labels = {}
+                labels_map[key] = labels
+            elif label in labels:
+                continue
+            labels[label] = kind
+            out_map[src].add(dst)
+            inc_map[dst].add(src)
+            present_add(src)
+            present_add(dst)
+            added += 1
+            last_seq = seq
+            # 2-cycles: the new edge pairs with every existing dst->src label.
+            back = labels_map.get((dst, src))
+            if back:
+                for back_label, back_kind in back.items():
+                    if back_label == label:
+                        ss += 1
+                    else:
+                        dd += 1
+                    record(classify2(kind, label, back_kind, back_label))
+            if not count_three:
+                continue
+            # 3-cycles: src->dst closes triangles with dst->w, w->src.
+            out_v = out_map.get(dst)
+            in_u = inc_map.get(src)
+            if not out_v or not in_u:
+                continue
+            # Scan the smaller neighbour set and test membership in the
+            # larger one — no intersection set is allocated per edge.
+            if len(out_v) > len(in_u):
+                small, large = in_u, out_v
+            else:
+                small, large = out_v, in_u
+            for w in small:
+                if w not in large or w == src or w == dst:
+                    continue
+                a_labels = labels_map.get((dst, w), empty).keys()
+                b_labels = labels_map.get((w, src), empty).keys()
+                na, nb = len(a_labels), len(b_labels)
+                l_in_a = 1 if label in a_labels else 0
+                l_in_b = 1 if label in b_labels else 0
+                sss = l_in_a * l_in_b
+                same_ab = len(a_labels & b_labels)
+                ssd = (
+                    l_in_a * (nb - l_in_b)
+                    + l_in_b * (na - l_in_a)
+                    + (same_ab - sss)
+                )
+                sss_t += sss
+                ssd_t += ssd
+                ddd_t += na * nb - sss - ssd
+        if pending:
+            self.patterns.counts.update(pending)
+        if added:
+            graph.edge_count += added
+            total.ss = ss
+            total.dd = dd
+            total.sss = sss_t
+            total.ssd = ssd_t
+            total.ddd = ddd_t
+            self.counts.add(total)
+            self._edges_since_prune += added
+            if (self.pruner is not None
+                    and self._edges_since_prune >= self.prune_interval):
+                self.prune(now=last_seq)
+        return total
+
     def _count_new_cycles(self, u: BuuId, v: BuuId, label: Key,
-                          kind: EdgeType, new: CycleCounts) -> None:
+                          kind: EdgeType, new: CycleCounts, record) -> None:
         graph = self.graph
         # 2-cycles: new edge u->v pairs with every existing v->u label.
         for back_label, back_kind in graph.labels.get((v, u), {}).items():
@@ -168,7 +319,7 @@ class CycleDetector:
                 new.ss += 1
             else:
                 new.dd += 1
-            self.patterns.record(
+            record(
                 classify_two_cycle(kind, label, back_kind, back_label)
             )
         if not self.count_three:

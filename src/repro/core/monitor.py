@@ -61,10 +61,22 @@ class WindowTracker:
     def observe_operation(self) -> None:
         self.ops += 1
 
+    def observe_operations(self, count: int) -> None:
+        self.ops += count
+
     def observe_edge(self, edge) -> None:
         """Feed one collected edge to the detector, window-attributed."""
         self.edges.record(edge.kind)
         self.raw.add(self.detector.add_edge(edge))
+
+    def observe_edges(self, edges) -> None:
+        """Batched :meth:`observe_edge` (same counts, one detector call)."""
+        if not edges:
+            return
+        stats = self.edges
+        for edge in edges:
+            stats.record(edge.kind)
+        self.raw.add(self.detector.add_edge_batch(edges))
 
     def close(self, end: int, probability: float,
               health: str = "ok") -> AnomalyReport:
@@ -170,8 +182,23 @@ class RushMon:
             self._window.observe_edge(edge)
 
     def on_operations(self, ops: Iterable[Operation]) -> None:
+        """Batched :meth:`on_operation`: one fused collector pass, one
+        detector batch.  Identical counts to per-op ingestion (collector
+        state never depends on detector state, per-key edge order is
+        preserved, and windows only close on explicit
+        :meth:`close_window` calls)."""
+        if not isinstance(ops, (list, tuple)):
+            ops = list(ops)
+        if not ops:
+            return
+        edges = self.collector.handle_batch(ops)
+        now = self._now
         for op in ops:
-            self.on_operation(op)
+            if op.seq > now:
+                now = op.seq
+        self._now = now
+        self._window.observe_operations(len(ops))
+        self._window.observe_edges(edges)
 
     # -- reporting ---------------------------------------------------------------
 

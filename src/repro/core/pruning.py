@@ -77,19 +77,39 @@ class EctPruning(Pruner):
     # safe, so ``on_commit`` is inherited as a no-op.
 
     def prune(self, graph: LiveGraph, now: int) -> int:
-        if not graph.alive:
+        alive = graph.alive
+        if not alive:
             return 0
         t_active = graph.active_time(default=now)
-        ect = self._exact_ect(graph)
+        present = graph.present
+        commits = graph.commits
+        out = graph.out
+        # ect(v) = max commit time over vertices that can reach v, so
+        # ect(v) < t_active  iff  v is unreachable from every vertex whose
+        # own commit time is >= t_active (alive / lifecycle-unknown
+        # vertices count as +inf).  One forward reachability pass from
+        # those "recent" seeds therefore decides prunability exactly —
+        # no SCC condensation or max propagation needed.  ``_exact_ect``
+        # is kept as the reference implementation; the equivalence is
+        # enforced by a differential test.
+        seeds = [v for v in present if v not in commits or commits[v] >= t_active]
+        visited = set(seeds)
+        stack = seeds
+        while stack:
+            v = stack.pop()
+            succs = out.get(v)
+            if succs:
+                for w in succs:
+                    if w not in visited and w in present:
+                        visited.add(w)
+                        stack.append(w)
+        remove = graph.remove_vertex
         removed = 0
-        for v in list(graph.present):
-            if v in graph.alive:
+        for v in [u for u in present if u not in visited]:
+            if v in alive or v not in commits:
                 continue
-            if v not in graph.commits:
-                continue  # lifecycle unknown: keep
-            if ect.get(v, float("inf")) < t_active:
-                graph.remove_vertex(v)
-                removed += 1
+            remove(v)
+            removed += 1
         self.removed_total += removed
         return removed
 
@@ -100,23 +120,33 @@ class EctPruning(Pruner):
         propagating maxima in topological order.
         """
         comp_of, components, order = _tarjan_scc(graph)
+        commits = graph.commits
+        inc = graph.inc
+        inf = float("inf")
         comp_value: list[float] = []
+        append_value = comp_value.append
         for members in components:
-            value = max(graph.commit_time(v) for v in members)
-            comp_value.append(value)
+            value = float(max(commits.get(v, inf) for v in members))
+            append_value(value)
         # ``order`` lists component ids in reverse topological order
         # (successors before predecessors), so iterate reversed for
         # predecessors-first propagation.
         ect: dict[BuuId, float] = {}
         for comp_id in reversed(order):
             best = comp_value[comp_id]
-            for v in components[comp_id]:
-                for u in graph.inc.get(v, ()):  # predecessors feed into v
+            members = components[comp_id]
+            for v in members:
+                preds = inc.get(v)
+                if not preds:
+                    continue
+                for u in preds:  # predecessors feed into v
                     pred_comp = comp_of.get(u)
                     if pred_comp is not None and pred_comp != comp_id:
-                        best = max(best, comp_value[pred_comp])
+                        value = comp_value[pred_comp]
+                        if value > best:
+                            best = value
             comp_value[comp_id] = best
-            for v in components[comp_id]:
+            for v in members:
                 ect[v] = best
         return ect
 
@@ -210,7 +240,10 @@ def _tarjan_scc(
     order: list[int] = []
     counter = 0
 
-    for root in graph.present:
+    present = graph.present
+    out = graph.out
+    no_succ: tuple[BuuId, ...] = ()
+    for root in present:
         if root in index:
             continue
         call_stack: list[tuple[BuuId, Iterator[BuuId]]] = []
@@ -218,23 +251,24 @@ def _tarjan_scc(
         counter += 1
         stack.append(root)
         on_stack.add(root)
-        call_stack.append((root, iter(graph.out.get(root, ()))))
+        call_stack.append((root, iter(out.get(root, no_succ))))
         while call_stack:
             v, it = call_stack[-1]
             advanced = False
             for w in it:
-                if w not in graph.present:
+                if w not in present:
                     continue
                 if w not in index:
                     index[w] = low[w] = counter
                     counter += 1
                     stack.append(w)
                     on_stack.add(w)
-                    call_stack.append((w, iter(graph.out.get(w, ()))))
+                    call_stack.append((w, iter(out.get(w, no_succ))))
                     advanced = True
                     break
                 if w in on_stack:
-                    low[v] = min(low[v], index[w])
+                    if index[w] < low[v]:
+                        low[v] = index[w]
             if advanced:
                 continue
             call_stack.pop()

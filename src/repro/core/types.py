@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterable, NamedTuple
 
 #: Type alias for data-item keys.  Any hashable value works; the simulator
 #: and workloads use ints and short strings.
@@ -42,14 +42,17 @@ class EdgeType(enum.Enum):
     RW = "rw"
 
 
-@dataclass(frozen=True)
-class Operation:
+class Operation(NamedTuple):
     """A single read or write applied to shared storage.
 
     ``seq`` is the logical time at which the operation became visible to
     other workers (the simulator's global step counter).  Operations on the
     same data item are fully ordered by ``seq``, matching the paper's
     assumption in Section 2.1.
+
+    A :class:`~typing.NamedTuple` rather than a frozen dataclass: the
+    monitor creates one per event on the hot path, and tuple allocation
+    skips both ``__init__`` dispatch and ``object.__setattr__``.
     """
 
     op: OpType
@@ -64,14 +67,16 @@ class Operation:
         return self.op is OpType.WRITE
 
 
-@dataclass(frozen=True)
-class Edge:
+class Edge(NamedTuple):
     """A labelled dependency-graph edge.
 
     ``label`` is the data item the conflict occurred on.  The estimator
     (Theorem 5.2) classifies cycles by comparing edge labels, so every edge
     carries one.  ``seq`` is the visibility time of the *later* of the two
     conflicting operations, i.e. when the collector learned the edge exists.
+
+    Like :class:`Operation`, a NamedTuple for cheap hot-path allocation;
+    use ``edge._replace(seq=...)`` where ``dataclasses.replace`` was used.
     """
 
     src: BuuId
@@ -84,7 +89,7 @@ class Edge:
         return (self.src, self.dst)
 
 
-@dataclass
+@dataclass(slots=True)
 class BuuInfo:
     """Lifetime bookkeeping for one BUU, used by vertex pruning (§5.3).
 
@@ -106,7 +111,7 @@ class BuuInfo:
         return float("inf") if self.commit is None else float(self.commit)
 
 
-@dataclass
+@dataclass(slots=True)
 class CycleCounts:
     """Aggregate 2-/3-cycle counts broken down by label class (§5.1).
 
@@ -143,7 +148,7 @@ class CycleCounts:
         return CycleCounts(self.ss, self.dd, self.sss, self.ssd, self.ddd)
 
 
-@dataclass
+@dataclass(slots=True)
 class EdgeStats:
     """Per-category edge counters reported alongside cycle counts (Fig 23)."""
 
@@ -204,3 +209,84 @@ class AnomalyReport:
     def anomalies(self) -> float:
         """Combined anomaly level: total estimated short cycles."""
         return self.estimated_2 + self.estimated_3
+
+
+class KeyInterner:
+    """Bijective mapping from data-item keys to dense small ints.
+
+    The batched fast path interns string keys at the workload boundary so
+    every downstream structure — collector item dicts, the sharded
+    journal, :class:`~repro.core.detector.LiveGraph` adjacency — hashes
+    and compares machine ints instead of strings, and shard bucketing
+    degenerates to ``id & mask`` instead of a CRC of ``repr(key)``.
+
+    Ids are assigned in first-seen order, so interning a recorded
+    workload is deterministic.  The mapping only grows; ``key_of``
+    recovers the original key for reports and debugging.
+    """
+
+    __slots__ = ("_ids", "_keys")
+
+    def __init__(self) -> None:
+        self._ids: dict[Key, int] = {}
+        self._keys: list[Key] = []
+
+    def intern(self, key: Key) -> int:
+        """Return the dense id for ``key``, assigning one if new."""
+        kid = self._ids.get(key)
+        if kid is None:
+            kid = len(self._keys)
+            self._ids[key] = kid
+            self._keys.append(key)
+        return kid
+
+    def intern_many(self, keys: Iterable[Key]) -> list[int]:
+        intern = self.intern
+        return [intern(k) for k in keys]
+
+    def key_of(self, kid: int) -> Key:
+        """Inverse of :meth:`intern` (raises IndexError for unknown ids)."""
+        return self._keys[kid]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._ids
+
+    def to_state(self) -> list[Key]:
+        """Checkpointable form: the id -> key table."""
+        return list(self._keys)
+
+    def load_state(self, keys: list[Key]) -> None:
+        self._keys = list(keys)
+        self._ids = {k: i for i, k in enumerate(self._keys)}
+
+
+class BuuInterner(KeyInterner):
+    """A :class:`KeyInterner` for BUU identifiers.
+
+    Workloads usually already use dense int BUU ids; this exists for
+    sources (recorded traces, external logs) whose transaction ids are
+    strings or sparse ints and must be densified before the batched path.
+    """
+
+    __slots__ = ()
+
+
+def intern_operations(ops: Iterable[Operation], keys: KeyInterner,
+                      buus: BuuInterner | None = None) -> list[Operation]:
+    """Rewrite an operation stream onto interned int keys.
+
+    Applies :meth:`KeyInterner.intern` to every ``op.key`` (and, when a
+    ``buus`` interner is given, every ``op.buu``).  Call this once at the
+    workload boundary; everything downstream then runs on dense ints.
+    """
+    key_intern = keys.intern
+    if buus is None:
+        return [op._replace(key=key_intern(op.key)) for op in ops]
+    buu_intern = buus.intern
+    return [
+        op._replace(key=key_intern(op.key), buu=buu_intern(op.buu))
+        for op in ops
+    ]

@@ -29,6 +29,7 @@ restored into a silently wrong monitor.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import zlib
@@ -305,6 +306,12 @@ def decode_detector_state(detector, state: dict) -> None:
     graph.starts = {buu: t for buu, t in state["starts"]}
     graph.commits = {buu: t for buu, t in state["commits"]}
     graph.alive = set(state["alive"])
+    # Rebuild the lazily-compacted active-time heap to match the restored
+    # alive set (state was installed wholesale, bypassing begin()).
+    graph._active_heap = [
+        (graph.starts[b], b) for b in graph.alive if b in graph.starts
+    ]
+    heapq.heapify(graph._active_heap)
     graph.edge_count = state["edge_count"]
     detector.counts = _decode_counts(state["counts"])
     detector.patterns = _decode_patterns(state["patterns"])

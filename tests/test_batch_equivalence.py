@@ -1,0 +1,510 @@
+"""Differential tests for the batched ingest fast path.
+
+The contract under test: every batched API (``Collector.handle_batch``,
+``CycleDetector.add_edge_batch``, ``ShardedCollector.handle_batch``,
+``RushMon.on_operations``) is *bit-identical* to its per-operation
+counterpart — same edges, same counters, same cycle/pattern counts, and
+the same RNG draw order — for every collector kind, sampling rate and
+batch size.  Also covered here: the reachability-based ECT prune vs the
+exact-ect oracle, the key/BUU interner, and the lazily-compacted
+active-time heap.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from tests.histgen import random_history
+from repro.bench.regress import _chunk_plan, synth_events
+from repro.core.collector import (
+    BaselineCollector,
+    DataCentricCollector,
+    EdgeSamplingCollector,
+)
+from repro.core.concurrent import RushMonService, ShardedCollector
+from repro.core.config import RushMonConfig
+from repro.core.detector import CycleDetector, LiveGraph
+from repro.core.monitor import RushMon
+from repro.core.pruning import EctPruning, make_pruner
+from repro.core.types import (
+    BuuInterner,
+    Edge,
+    EdgeType,
+    KeyInterner,
+    Operation,
+    OpType,
+    intern_operations,
+)
+from repro.storage.wal import decode_detector_state, encode_detector_state
+
+SEEDS = range(30)
+BATCH_SIZES = (1, 7, 1024)
+SAMPLING_RATES = (1, 2, 8)
+
+
+def _make_collector(kind, sr):
+    if kind == "baseline":
+        return BaselineCollector()
+    if kind == "es":
+        return EdgeSamplingCollector(sampling_rate=sr)
+    return DataCentricCollector(sampling_rate=sr, mob=True, seed=0)
+
+
+def _rng_states(col):
+    """Every RNG a collector owns, in a comparable form."""
+    states = []
+    rng = getattr(col, "_rng", None)
+    if rng is not None:
+        states.append(rng.getstate())
+    shard = getattr(col, "shard", None)
+    if shard is not None:
+        states.append(shard._rng.getstate())
+    return states
+
+
+def _chunks(seq, size):
+    for i in range(0, len(seq), size):
+        yield seq[i:i + size]
+
+
+# -- collector: handle_batch == handle, bit for bit --------------------------
+
+
+@pytest.mark.parametrize("kind", ["baseline", "es", "dcs"])
+@pytest.mark.parametrize("sr", SAMPLING_RATES)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_collector_batch_bit_identical(kind, sr, batch):
+    for seed in SEEDS:
+        history = random_history(seed)
+        per_op = _make_collector(kind, sr)
+        batched = _make_collector(kind, sr)
+        edges_a = [e for op in history for e in per_op.handle(op)]
+        edges_b = []
+        for chunk in _chunks(history, batch):
+            edges_b.extend(batched.handle_batch(chunk))
+        assert edges_a == edges_b
+        assert per_op.stats == batched.stats
+        assert per_op.touches == batched.touches
+        assert per_op.ops_seen == batched.ops_seen
+        assert _rng_states(per_op) == _rng_states(batched)
+
+
+def test_collector_batch_accepts_generators():
+    history = random_history(3)
+    per_op = BaselineCollector()
+    batched = BaselineCollector()
+    edges_a = [e for op in history for e in per_op.handle(op)]
+    edges_b = list(batched.handle_batch(op for op in history))
+    assert edges_a == edges_b
+
+
+# -- detector: add_edge_batch == add_edge ------------------------------------
+
+
+def _lifecycle_stream(history):
+    """Interleave begin/commit lifecycle tuples with per-op edge batches
+    from the exact baseline collector."""
+    col = BaselineCollector()
+    last_index = {op.buu: i for i, op in enumerate(history)}
+    begun = set()
+    stream = []
+    for i, op in enumerate(history):
+        if op.buu not in begun:
+            begun.add(op.buu)
+            stream.append(("b", op.buu, op.seq))
+        stream.extend(col.handle(op))
+        if last_index[op.buu] == i:
+            stream.append(("c", op.buu, op.seq))
+    return stream
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+@pytest.mark.parametrize("pruning", [None, "both"])
+def test_detector_batch_counts_identical(batch, pruning):
+    """Counts/patterns match per-edge ingestion exactly; with pruning
+    disabled the entire graph state matches too (with pruning enabled
+    prune *timing* differs by design — counts still must not)."""
+    for seed in range(10):
+        stream = _lifecycle_stream(random_history(seed))
+        pruner_a = make_pruner(pruning) if pruning else None
+        pruner_b = make_pruner(pruning) if pruning else None
+        det_a = CycleDetector(pruner=pruner_a, prune_interval=50)
+        det_b = CycleDetector(pruner=pruner_b, prune_interval=50)
+        buf = []
+        for item in stream:
+            if item.__class__ is Edge:
+                det_a.add_edge(item)
+                buf.append(item)
+                if len(buf) >= batch:
+                    det_b.add_edge_batch(buf)
+                    buf = []
+            else:
+                if buf:
+                    det_b.add_edge_batch(buf)
+                    buf = []
+                if item[0] == "b":
+                    det_a.begin_buu(item[1], item[2])
+                    det_b.begin_buu(item[1], item[2])
+                else:
+                    det_a.commit_buu(item[1], item[2])
+                    det_b.commit_buu(item[1], item[2])
+        if buf:
+            det_b.add_edge_batch(buf)
+        assert det_a.counts == det_b.counts
+        assert det_a.patterns.counts == det_b.patterns.counts
+        if pruning is None:
+            g_a, g_b = det_a.graph, det_b.graph
+            assert g_a.labels == g_b.labels
+            assert g_a.out == g_b.out
+            assert g_a.inc == g_b.inc
+            assert g_a.present == g_b.present
+            assert g_a.edge_count == g_b.edge_count
+
+
+def test_add_edge_batch_returns_aggregate_of_new_cycles():
+    det_a = CycleDetector()
+    det_b = CycleDetector()
+    edges = [
+        Edge(1, 2, EdgeType.WR, "k1", 1),
+        Edge(2, 1, EdgeType.RW, "k1", 2),
+        Edge(2, 3, EdgeType.WW, "k2", 3),
+        Edge(3, 1, EdgeType.WR, "k3", 4),
+        Edge(1, 2, EdgeType.WR, "k1", 5),  # duplicate: ignored
+    ]
+    total = det_b.add_edge_batch(edges)
+    per_edge = [det_a.add_edge(e) for e in edges]
+    agg = per_edge[0]
+    for new in per_edge[1:]:
+        agg.add(new)
+    assert total == agg
+    assert det_a.counts == det_b.counts
+
+
+def test_batching_across_lifecycle_boundaries_is_count_exact():
+    """The regress harness buffers operations across begin/commit events
+    (lifecycle applies to the detector immediately, buffered operations
+    flush later).  That reordering must not change any count."""
+    events = synth_events(4000, num_keys=64, seed=5)
+    col_a = DataCentricCollector(sampling_rate=1, mob=True, seed=0)
+    det_a = CycleDetector(pruner=make_pruner("both"), prune_interval=100)
+    for ev in events:
+        if ev.__class__ is Operation:
+            for edge in col_a.handle(ev):
+                det_a.add_edge(edge)
+        elif ev[0] == "b":
+            det_a.begin_buu(ev[1], ev[2])
+        else:
+            det_a.commit_buu(ev[1], ev[2])
+
+    col_b = DataCentricCollector(sampling_rate=1, mob=True, seed=0)
+    det_b = CycleDetector(pruner=make_pruner("both"), prune_interval=100)
+    for item in _chunk_plan(events, 256):
+        if item.__class__ is list:
+            det_b.add_edge_batch(col_b.handle_batch(item))
+        elif item[0] == "b":
+            det_b.begin_buu(item[1], item[2])
+        else:
+            det_b.commit_buu(item[1], item[2])
+
+    assert det_a.counts == det_b.counts
+    assert det_a.patterns.counts == det_b.patterns.counts
+    assert col_a.stats == col_b.stats
+
+
+# -- ECT pruning: reachability pass == exact-ect oracle ----------------------
+
+
+def _random_live_graph(seed):
+    rng = random.Random(seed)
+    graph = LiveGraph()
+    n = rng.randrange(6, 40)
+    for v in range(n):
+        graph.begin(v, rng.randrange(100))
+    kinds = [EdgeType.WR, EdgeType.WW, EdgeType.RW]
+    for _ in range(rng.randrange(10, 90)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        graph.add_edge(u, v, f"k{rng.randrange(8)}", rng.choice(kinds))
+    for v in range(n):
+        if rng.random() < 0.7:
+            graph.commit(v, rng.randrange(100, 220))
+    return graph
+
+
+def test_ect_reachability_matches_exact_ect_oracle():
+    checked = 0
+    for seed in range(50):
+        graph = _random_live_graph(seed)
+        if not graph.alive:
+            continue
+        now = 300
+        t_active = graph.active_time(default=now)
+        ect = EctPruning()._exact_ect(graph)
+        inf = float("inf")
+        expected = {
+            v for v in graph.present
+            if v not in graph.alive and v in graph.commits
+            and ect.get(v, inf) < t_active
+        }
+        before = set(graph.present)
+        pruner = EctPruning()
+        removed = pruner.prune(graph, now)
+        assert removed == len(expected)
+        assert graph.present == before - expected
+        checked += 1
+    assert checked > 10  # the sweep must actually exercise the pruner
+
+
+# -- sharded collector -------------------------------------------------------
+
+
+@pytest.mark.parametrize("sr", (1, 4))
+@pytest.mark.parametrize("journal", (False, True))
+def test_sharded_collector_batch_matches_per_op(sr, journal):
+    for seed in range(8):
+        history = random_history(seed)
+        per_op = ShardedCollector(sampling_rate=sr, num_shards=4, seed=0,
+                                  journal=journal)
+        batched = ShardedCollector(sampling_rate=sr, num_shards=4, seed=0,
+                                   journal=journal)
+        edges_a = [e for op in history for e in per_op.handle(op)]
+        edges_b = []
+        for chunk in _chunks(history, 16):
+            edges_b.extend(batched.handle_batch(chunk))
+        # The batch path groups operations by shard, so inter-shard edge
+        # order may differ; a key lives in exactly one shard, so the
+        # multiset is the invariant.
+        assert Counter(edges_a) == Counter(edges_b)
+        assert per_op.stats == batched.stats
+        if journal:
+            # The batch path tickets operations shard group by shard
+            # group, so cross-shard journal order inside one batch may
+            # differ from arrival order.  Per-key (= per-shard) order is
+            # the only order the bookkeeping and detector results depend
+            # on — cycle totals are edge-multiset properties and
+            # classify_two_cycle is symmetric — so the invariant is:
+            # identical per-shard event subsequences.
+            def by_shard(collector, events):
+                seqs = {}
+                for _ticket, kind, payload, extra in events:
+                    shard = (collector.shard_index(payload.key)
+                             if kind == "op" else "lifecycle")
+                    normalized = (kind, payload, tuple(extra or ()))
+                    seqs.setdefault(shard, []).append(normalized)
+                return seqs
+
+            assert by_shard(per_op, per_op.drain_journal()) == \
+                by_shard(batched, batched.drain_journal())
+
+
+def test_sharded_collector_int_key_fast_path():
+    """Interned (int) keys bucket by masked id on power-of-two shard
+    counts, and by the splitmix hash otherwise — never by CRC of repr."""
+    pow2 = ShardedCollector(num_shards=8)
+    for kid in (0, 1, 7, 8, 123456):
+        assert pow2.shard_index(kid) == kid & 7
+    odd = ShardedCollector(num_shards=3)
+    for kid in (0, 1, 7, 8, 123456):
+        assert 0 <= odd.shard_index(kid) < 3
+    # bool is an int subclass but must not take the masked path silently
+    # differing from equal string keys; just check it stays in range.
+    assert 0 <= pow2.shard_index(True) < 8
+
+
+# -- serial monitor ----------------------------------------------------------
+
+
+def _feed_monitor(monitor, history, batch=None):
+    last_index = {op.buu: i for i, op in enumerate(history)}
+    begun = set()
+    buf = []
+    for i, op in enumerate(history):
+        if op.buu not in begun:
+            if buf and batch is not None:
+                for chunk in _chunks(buf, batch):
+                    monitor.on_operations(chunk)
+                buf = []
+            begun.add(op.buu)
+            monitor.begin_buu(op.buu, op.seq)
+        if batch is None:
+            monitor.on_operation(op)
+        else:
+            buf.append(op)
+        if last_index[op.buu] == i:
+            if buf:
+                for chunk in _chunks(buf, batch):
+                    monitor.on_operations(chunk)
+                buf = []
+            monitor.commit_buu(op.buu, op.seq)
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_rushmon_on_operations_matches_per_op(batch):
+    for seed in range(8):
+        history = random_history(seed)
+        config = RushMonConfig(sampling_rate=2, mob=True, seed=0)
+        per_op = RushMon(config)
+        batched = RushMon(RushMonConfig(sampling_rate=2, mob=True, seed=0))
+        _feed_monitor(per_op, history)
+        _feed_monitor(batched, history, batch=batch)
+        assert per_op.detector.counts == batched.detector.counts
+        assert per_op.detector.patterns.counts == \
+            batched.detector.patterns.counts
+        assert per_op.collector.stats == batched.collector.stats
+        report_a = per_op.close_window()
+        report_b = batched.close_window()
+        assert report_a.operations == report_b.operations
+        assert report_a.estimated_2 == report_b.estimated_2
+        assert report_a.estimated_3 == report_b.estimated_3
+
+
+# -- service: batch size configuration + checkpoint --------------------------
+
+
+def test_service_batch_size_validation():
+    config = RushMonConfig()
+    with pytest.raises(ValueError, match="batch_size"):
+        RushMonService(config, batch_size=0)
+    with pytest.raises(ValueError, match="batch_size"):
+        RushMonService(config, batch_size="16")
+
+
+def test_service_checkpoint_round_trips_batch_size(tmp_path):
+    config = RushMonConfig(sampling_rate=1, seed=0)
+    service = RushMonService(config, num_shards=2, batch_size=7)
+    ops = [Operation(OpType.WRITE if i % 2 else OpType.READ,
+                     buu=i % 4, key=f"k{i % 8}", seq=i + 1)
+           for i in range(64)]
+    for b in range(4):
+        service.begin_buu(b, 0)
+    service.on_operations(ops)
+    service.close_window()
+    path = tmp_path / "ckpt.json"
+    service.checkpoint(str(path))
+    restored = RushMonService.restore(str(path))
+    assert restored.batch_size == 7
+    assert restored.counts() == service.counts()
+    # and the restored service keeps ingesting in batches
+    more = [Operation(OpType.WRITE, buu=1, key="k1", seq=100 + i)
+            for i in range(10)]
+    restored.on_operations(more)
+    restored.close_window()
+
+
+@pytest.mark.parametrize("batch_size", (1, 3, 256))
+def test_service_batched_ingest_matches_unbatched(batch_size):
+    """The same stream through services with different batch sizes must
+    produce identical cumulative counts (single-threaded: the batched
+    journal/detect path is exactly order-preserving)."""
+    history = random_history(11)
+    results = []
+    for size in (batch_size, 10_000):
+        service = RushMonService(RushMonConfig(sampling_rate=1, seed=0),
+                                 num_shards=4, batch_size=size)
+        last_index = {op.buu: i for i, op in enumerate(history)}
+        begun = set()
+        for i, op in enumerate(history):
+            if op.buu not in begun:
+                begun.add(op.buu)
+                service.begin_buu(op.buu, op.seq)
+            service.on_operations([op])
+            if last_index[op.buu] == i:
+                service.commit_buu(op.buu, op.seq)
+        service.close_window()
+        results.append((service.counts(), service.cumulative_estimates()))
+        service.stop()
+    assert results[0] == results[1]
+
+
+# -- interner ----------------------------------------------------------------
+
+
+def test_key_interner_dense_ids_and_roundtrip():
+    interner = KeyInterner()
+    ids = [interner.intern(k) for k in ("a", "b", "a", "c", "b")]
+    assert ids == [0, 1, 0, 2, 1]
+    assert len(interner) == 3
+    assert "a" in interner and "z" not in interner
+    assert [interner.key_of(i) for i in range(3)] == ["a", "b", "c"]
+    assert interner.intern_many(["c", "d"]) == [2, 3]
+
+    clone = KeyInterner()
+    clone.load_state(interner.to_state())
+    assert clone.intern("e") == 4
+    assert clone.key_of(3) == "d"
+
+
+def test_intern_operations_maps_keys_and_buus():
+    ops = [Operation(OpType.READ, buu="t1", key="x", seq=1),
+           Operation(OpType.WRITE, buu="t2", key="y", seq=2),
+           Operation(OpType.WRITE, buu="t1", key="x", seq=3)]
+    keys = KeyInterner()
+    buus = BuuInterner()
+    interned = intern_operations(ops, keys, buus)
+    assert [op.key for op in interned] == [0, 1, 0]
+    assert [op.buu for op in interned] == [0, 1, 0]
+    assert [op.op for op in interned] == [op.op for op in ops]
+    assert [op.seq for op in interned] == [1, 2, 3]
+    assert keys.key_of(1) == "y" and buus.key_of(1) == "t2"
+
+
+def test_interned_stream_equivalent_to_string_stream():
+    """Interning relabels keys/BUUs bijectively, so cycle counts are
+    unchanged (only labels differ)."""
+    history = random_history(7)
+    keys, buus = KeyInterner(), BuuInterner()
+    interned = intern_operations(history, keys, buus)
+
+    counts = []
+    for stream in (history, interned):
+        col = BaselineCollector()
+        det = CycleDetector()
+        det.add_edge_batch(col.handle_batch(stream))
+        counts.append(det.counts)
+    assert counts[0] == counts[1]
+
+
+# -- active-time heap --------------------------------------------------------
+
+
+def test_active_time_matches_naive_min_under_churn():
+    rng = random.Random(42)
+    graph = LiveGraph()
+    next_buu = 0
+    alive = []
+    for step in range(2000):
+        if alive and rng.random() < 0.4:
+            buu = alive.pop(rng.randrange(len(alive)))
+            graph.commit(buu, step)
+        else:
+            graph.begin(next_buu, step)
+            alive.append(next_buu)
+            next_buu += 1
+        expected = (min(graph.starts[b] for b in alive)
+                    if alive else float(step))
+        assert graph.active_time(default=step) == expected
+
+
+def test_active_time_after_wholesale_state_install():
+    """Checkpoint restore assigns alive/starts directly; the heap must
+    rebuild itself instead of reporting a stale or missing minimum."""
+    graph = LiveGraph()
+    graph.alive = {10, 11, 12}
+    graph.starts = {10: 50, 11: 30, 12: 70}
+    assert graph.active_time() == 30.0
+    graph.commit(11, 80)
+    assert graph.active_time() == 50.0
+
+
+def test_wal_detector_roundtrip_preserves_active_time():
+    det = CycleDetector()
+    det.begin_buu(1, 5)
+    det.begin_buu(2, 9)
+    det.add_edge(Edge(1, 2, EdgeType.WR, "k", 10))
+    det.commit_buu(1, 11)
+    clone = CycleDetector()
+    decode_detector_state(clone, encode_detector_state(det))
+    assert clone.graph.active_time() == det.graph.active_time() == 9.0
+    clone.commit_buu(2, 12)
+    clone.begin_buu(3, 20)
+    assert clone.graph.active_time() == 20.0
