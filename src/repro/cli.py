@@ -99,6 +99,33 @@ def _counter_buus(count: int, keys: int, touch: int, seed: int):
                                 lambda v: (v or 0) + 1)
 
 
+def _install_sigterm_as_interrupt():
+    """Route SIGTERM through the KeyboardInterrupt graceful path.
+
+    Returns the previous handler (pass to :func:`_restore_sigterm`), or
+    ``None`` when signals can't be installed here (non-main thread —
+    e.g. the in-process CLI tests)."""
+    import signal
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        return signal.signal(signal.SIGTERM, _handler)
+    except ValueError:
+        return None
+
+
+def _restore_sigterm(previous) -> None:
+    import signal
+
+    if previous is not None:
+        try:
+            signal.signal(signal.SIGTERM, previous)
+        except ValueError:
+            pass
+
+
 def _service_quickstart(args: argparse.Namespace) -> int:
     """quickstart --threads N: same workload, real threads, background
     detection via the concurrent RushMonService."""
@@ -252,9 +279,10 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     registry of the concurrent service, optionally exported over HTTP
     (``--export-port``) and/or printed periodically (``--live``).
 
-    Ctrl-C is a graceful shutdown, not a crash: the service is stopped
-    (draining the final window), the final metrics snapshot and report
-    are printed, and the process exits 0.
+    Ctrl-C and SIGTERM are graceful shutdowns, not crashes: the service
+    is stopped (draining the final window, writing a stop-time
+    checkpoint when ``--checkpoint`` is given), the final metrics
+    snapshot and report are printed, and the process exits 0.
     """
     import threading
     import time as _time
@@ -272,6 +300,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         overflow=args.overflow,
         max_restarts=args.max_restarts,
         batch_size=args.batch_size,
+        checkpoint_path=args.checkpoint,
     )
     exporter = None
     if args.export_port is not None:
@@ -289,6 +318,10 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         "rushmon_service_report_age_seconds",
     ]
     interrupted = False
+    # SIGTERM (systemd stop, `kill`, container teardown) takes the same
+    # graceful path as Ctrl-C: raise KeyboardInterrupt in the main
+    # thread so the finally below drains, checkpoints and reports.
+    previous_sigterm = _install_sigterm_as_interrupt()
     try:
         # Workload construction is interruptible too (it dominates
         # startup for large --buus), so it lives inside the handler.
@@ -330,7 +363,10 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         print("\ninterrupted — stopping service and draining the final "
               "window")
     finally:
+        _restore_sigterm(previous_sigterm)
         service.stop()
+        if args.checkpoint is not None:
+            print(f"stop-time checkpoint written to {args.checkpoint}")
         if exporter is not None and (interrupted or not args.hold):
             exporter.stop()
 
@@ -362,6 +398,131 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             pass
         finally:
             exporter.stop()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a RushMon server: accept networked clients and monitor their
+    streamed BUU events.
+
+    With ``--checkpoint``, the server acknowledges batches only after a
+    checkpoint covers them, and an existing checkpoint file is restored
+    on startup — so restarting after ``kill -9`` resumes the session
+    table and counts without losing acknowledged events or
+    double-counting replays.  SIGTERM/Ctrl-C drain gracefully (stop
+    accepting, flush acks, final checkpoint) and exit 0.
+    """
+    import os
+    import signal
+    import threading
+
+    from repro.core.concurrent import RushMonService
+    from repro.net import RushMonServer
+    from repro.obs import MetricsExporter
+
+    if args.checkpoint is not None and os.path.exists(args.checkpoint):
+        service = RushMonService.restore(args.checkpoint)
+        print(f"restored state from {args.checkpoint} "
+              f"(events={service.processed_events}, "
+              f"reports={len(service.reports)})", flush=True)
+    else:
+        service = RushMonService(
+            RushMonConfig(sampling_rate=args.sampling_rate,
+                          mob=not args.no_mob, pruning=args.pruning,
+                          seed=args.seed),
+            num_shards=args.shards,
+            detect_interval=args.detect_interval,
+            journal_capacity=args.journal_capacity,
+            overflow=args.overflow,
+            max_restarts=args.max_restarts,
+            batch_size=args.batch_size,
+            record_trace=not args.no_trace,
+        )
+    server = RushMonServer(
+        service,
+        host=args.host,
+        port=args.port,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server.start()
+    exporter = None
+    if args.export_port is not None:
+        exporter = MetricsExporter(service.metrics, port=args.export_port)
+        exporter.start()
+        print(f"metrics exported at {exporter.url}/metrics", flush=True)
+    # The parseable line test harnesses and the quickstart grep for:
+    print(f"rushmon server listening on {server.host}:{server.port}",
+          flush=True)
+
+    stop = threading.Event()
+
+    def _handler(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:  # non-main thread (in-process tests)
+            pass
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:
+                pass
+        print("draining: no new batches, flushing acknowledgements",
+              flush=True)
+        server.drain()
+        if exporter is not None:
+            exporter.stop()
+    counts = service.counts()
+    print(f"drained. sessions={server.sessions_current} "
+          f"batches={server.stats['batches_accepted']} "
+          f"events={server.stats['events_ingested']} "
+          f"dedup_hits={server.stats['dedup_hits']}")
+    print(f"sampled counts: {counts.two_cycles} two-cycles, "
+          f"{counts.three_cycles} three-cycles")
+    if args.checkpoint is not None:
+        print(f"final checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    """Stream a simulated workload to a RushMon server over TCP.
+
+    The :class:`~repro.net.RushMonClient` attaches to the simulator as
+    an ordinary monitor listener; every event is shipped with delivery
+    guarantees (bounded queue, batching, acks, reconnect + replay).
+    Exits 0 when every event was acknowledged, 1 otherwise.
+    """
+    from repro.net import RushMonClient
+
+    client = RushMonClient(
+        args.host, args.port,
+        session=args.session,
+        batch_size=args.net_batch,
+        flush_interval=args.flush_interval,
+        queue_capacity=args.queue_capacity,
+        overflow=args.net_overflow,
+    )
+    client.start()
+    sim = Simulator(_sim_config(args), listeners=[client])
+    sim.run(_counter_buus(args.buus, args.keys, args.touch, args.seed))
+    clean = client.close(timeout=args.close_timeout)
+    counters = client.counters()
+    print(f"emitted {counters['events_enqueued']} events in "
+          f"{counters['acked_batches']} acked batches "
+          f"(retransmits={counters['retransmits']}, "
+          f"reconnects={counters['reconnects']}, "
+          f"shed={counters['shed_events']})")
+    if not clean:
+        print("WARNING: close timed out with unacknowledged events",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -524,7 +685,67 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--buus", type=int, default=2000)
     mon.add_argument("--keys", type=int, default=64)
     mon.add_argument("--touch", type=int, default=3)
+    mon.add_argument("--checkpoint", default=None,
+                     help="write a stop-time checkpoint here on graceful "
+                          "shutdown (Ctrl-C / SIGTERM included)")
     mon.set_defaults(func=cmd_monitor)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run a RushMon server accepting networked event streams",
+    )
+    _add_monitor_args(srv)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 = ephemeral; the bound port is "
+                          "printed on the 'listening on' line)")
+    srv.add_argument("--checkpoint", default=None,
+                     help="durable state file: restored on startup if it "
+                          "exists; batches are acknowledged only once a "
+                          "checkpoint covers them")
+    srv.add_argument("--checkpoint-every", type=int, default=4,
+                     help="group-commit size: checkpoint + ack after this "
+                          "many ingested batches")
+    srv.add_argument("--export-port", type=int, default=None,
+                     help="serve /metrics on this port (0 = ephemeral)")
+    srv.add_argument("--shards", type=int, default=8)
+    srv.add_argument("--detect-interval", type=float, default=0.02)
+    srv.add_argument("--journal-capacity", type=int, default=None)
+    srv.add_argument("--overflow", default="block",
+                     choices=["block", "shed", "degrade"])
+    srv.add_argument("--max-restarts", type=int, default=5)
+    srv.add_argument("--batch-size", type=_batch_size, default=256)
+    srv.add_argument("--no-trace", action="store_true",
+                     help="skip trace recording (saves memory; disables "
+                          "the offline differential over the checkpoint)")
+    srv.set_defaults(func=cmd_serve)
+
+    emit = sub.add_parser(
+        "emit",
+        help="stream a simulated workload to a RushMon server",
+    )
+    _add_sim_args(emit)
+    emit.add_argument("--host", default="127.0.0.1")
+    emit.add_argument("--port", type=int, required=True)
+    emit.add_argument("--session", default=None,
+                      help="session id (default: a fresh UUID)")
+    emit.add_argument("--buus", type=int, default=400)
+    emit.add_argument("--keys", type=int, default=20)
+    emit.add_argument("--touch", type=int, default=2)
+    emit.add_argument("--seed", type=int, default=0)
+    emit.add_argument("--net-batch", type=int, default=64,
+                      help="events per wire batch")
+    emit.add_argument("--flush-interval", type=float, default=0.05,
+                      help="max seconds an event waits for a full batch")
+    emit.add_argument("--queue-capacity", type=int, default=8192,
+                      help="bounded client queue size")
+    emit.add_argument("--net-overflow", default="block",
+                      choices=["block", "shed"],
+                      help="producer experience when the client queue "
+                           "is full")
+    emit.add_argument("--close-timeout", type=float, default=10.0,
+                      help="seconds to wait for the final acks on close")
+    emit.set_defaults(func=cmd_emit)
 
     over = sub.add_parser(
         "bench-overhead",

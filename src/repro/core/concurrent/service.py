@@ -227,6 +227,10 @@ class RushMonService:
         self._checkpoint_interval = checkpoint_interval
         self._last_checkpoint_pass = 0
         self._latest_published_at: float | None = None
+        #: Opaque embedder state (e.g. ``repro.net`` session tables)
+        #: carried inside checkpoints so it shares their atomicity —
+        #: either the whole cut (service + extra) persists, or none.
+        self.extra_state: dict = {}
         self._record_trace = record_trace
         if record_trace:
             from repro.sim.traces import Trace
@@ -745,6 +749,7 @@ class RushMonService:
                     None if self._trace is None
                     else wal.encode_trace(self._trace)
                 ),
+                "extra": self.extra_state,
             }
             self._last_checkpoint_pass = self.passes
         wal.save_checkpoint(target, payload)
@@ -798,6 +803,8 @@ class RushMonService:
         service._last_checkpoint_pass = service.passes
         if service._trace is not None and payload["trace"] is not None:
             wal.decode_trace(service._trace, payload["trace"])
+        # .get(): pre-net checkpoints lack the key.
+        service.extra_state = payload.get("extra", {})
         return service
 
     # -- consumer-side views ---------------------------------------------------

@@ -396,11 +396,16 @@ class ShardedCollector:
         seen = self.ops_seen
         return (self.touches / seen) if seen else 0.0
 
+    @property
+    def journal_depth(self) -> int:
+        """Events currently buffered across every shard journal —
+        the instantaneous backlog the next detection pass will drain."""
+        return sum(len(s.journal) for s in self._shards)
+
     def _fill_ratio(self) -> float:
         if self.journal_capacity is None:
             return 0.0
-        depth = sum(len(s.journal) for s in self._shards)
-        return depth / self.journal_capacity
+        return self.journal_depth / self.journal_capacity
 
     # -- partitioning --------------------------------------------------------
 

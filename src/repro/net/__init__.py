@@ -1,0 +1,35 @@
+"""Networked ingestion: stream BUU events to a RushMon server.
+
+The in-process :class:`~repro.core.concurrent.RushMonService` dies with
+its host.  This package detaches the monitor from the monitored system:
+
+- :class:`RushMonServer` — a TCP server wrapping a ``RushMonService``.
+  One reader thread per connection feeds the sharded collector; batches
+  are deduplicated per client session and acknowledged only once their
+  state is durable in a :mod:`repro.storage.wal` checkpoint, so a
+  SIGKILLed server restored from its checkpoint resumes without losing
+  an acknowledged batch or double-counting a replayed one.
+- :class:`RushMonClient` — a monitor-listener facade that batches
+  events into a bounded queue and ships them from a background thread,
+  with ack deadlines, exponential backoff + full jitter on reconnect,
+  heartbeats, and replay of unacknowledged batches after a reconnect.
+- :mod:`repro.net.protocol` — the length-prefixed JSON/msgpack frame
+  format and message vocabulary both sides speak.
+
+Delivery contract: **at-least-once made effectively-once**.  The client
+retransmits anything unacknowledged; the server's per-session
+high-water sequence number (persisted in the checkpoint) turns every
+replay into either a first delivery or a counted dedup hit — never a
+double count.
+"""
+
+from repro.net.client import ClientBackpressure, RushMonClient
+from repro.net.protocol import ProtocolError
+from repro.net.server import RushMonServer
+
+__all__ = [
+    "ClientBackpressure",
+    "ProtocolError",
+    "RushMonClient",
+    "RushMonServer",
+]

@@ -1,0 +1,297 @@
+"""Wire protocol for networked BUU ingestion.
+
+Frames
+------
+
+Every message travels as one frame::
+
+    4 bytes  big-endian payload length N (codec byte + crc + body)
+    1 byte   codec id (0 = JSON, 1 = msgpack)
+    4 bytes  big-endian CRC-32 of the body
+    N-5 bytes encoded message body
+
+The CRC matters: TCP's own checksum is weak and a fault-injected (or
+genuinely broken) middlebox can flip a byte *inside* a string value,
+which still parses as valid JSON — without the CRC such a frame would
+ingest silently wrong data.  A CRC mismatch is a :class:`ProtocolError`
+like any other framing violation.
+
+The codec is chosen per frame, so a JSON client and a msgpack client
+can share a server; msgpack is used only when the ``msgpack`` package
+is importable (it is optional — the JSON codec is always available and
+is the default).
+
+Messages
+--------
+
+Messages are flat dicts with a ``"type"`` key:
+
+``hello``
+    ``{type, session, resume}`` — opens (or resumes) a client session.
+    ``resume`` is the highest sequence number the client knows was
+    acknowledged; purely informational.
+``welcome``
+    ``{type, session, high, health}`` — the server's reply: ``high`` is
+    its in-memory high-water sequence for the session (events up to
+    ``high`` are ingested, though not necessarily durable yet), and
+    ``health`` is the service health (``"ok"`` / ``"degraded"``).
+``batch``
+    ``{type, session, seq, events}`` — one batch of events.  ``seq``
+    starts at 1 and increases by exactly 1 per batch within a session;
+    the server ingests ``seq == high+1``, re-acks ``seq <= high`` as a
+    dedup hit, and rejects gaps.
+``ack``
+    ``{type, session, seq}`` — **cumulative**: acknowledges every batch
+    of the session with sequence number ``<= seq``.  Sent only after
+    the batch's effects are durable (when the server checkpoints) or
+    ingested (when it runs without a checkpoint path).
+``error``
+    ``{type, code, message, retriable, seq?, consumed?}`` — typed
+    failure.  ``consumed`` (refusals only) is how many events of the
+    refused batch the server *did* ingest before refusing: a blocking
+    client resends the full batch (the server resumes at its recorded
+    offset), while a shedding client must not count the ingested prefix
+    as lost.  Codes:
+    ``backpressure`` (journal full, batch not fully ingested — resend
+    after a backoff), ``degraded`` (detection circuit breaker tripped),
+    ``draining`` (server is shutting down gracefully), ``bad-frame``
+    (undecodable frame — the connection is no longer trustworthy),
+    ``bad-session`` (sequence gap — protocol violation).
+``ping`` / ``pong``
+    ``{type, nonce}`` — liveness heartbeats.
+``bye``
+    ``{type}`` — orderly close.
+
+Events
+------
+
+Batch events are compact lists, mirroring the WAL record vocabulary:
+
+- operation: ``["r"|"w", buu, key, seq]``
+- lifecycle: ``["b"|"c", buu, time]`` (BUU begin / commit)
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Iterable, Iterator
+
+from repro.core.types import Operation, OpType
+
+try:  # optional accelerator; the JSON codec is always available
+    import msgpack  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - depends on the environment
+    msgpack = None
+
+__all__ = [
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "ERROR_CODES",
+    "FrameReader",
+    "MAX_FRAME",
+    "ProtocolError",
+    "decode_events",
+    "encode_events",
+    "encode_frame",
+]
+
+#: Codec ids carried in the frame header.
+CODEC_JSON = 0
+CODEC_MSGPACK = 1
+
+#: Refuse frames larger than this (a corrupt length prefix must not
+#: make a reader try to buffer gigabytes).
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Typed error codes an ``error`` message may carry.
+ERROR_CODES = (
+    "backpressure", "degraded", "draining", "bad-frame", "bad-session",
+)
+
+_LEN = struct.Struct("!I")
+_CRC = struct.Struct("!I")
+#: codec byte + CRC word — the per-frame overhead inside the length.
+_OVERHEAD = 1 + _CRC.size
+
+
+class ProtocolError(RuntimeError):
+    """A frame or message violates the wire protocol (corrupt length,
+    undecodable body, unknown codec, oversized frame)."""
+
+
+def encode_frame(message: dict, codec: int = CODEC_JSON) -> bytes:
+    """Serialize one message dict into a length-prefixed frame."""
+    if codec == CODEC_JSON:
+        body = json.dumps(message, separators=(",", ":")).encode()
+    elif codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ProtocolError(
+                "msgpack codec requested but the msgpack package is not "
+                "installed; use CODEC_JSON"
+            )
+        body = msgpack.packb(message)
+    else:
+        raise ProtocolError(f"unknown codec id {codec!r}")
+    return (_LEN.pack(len(body) + _OVERHEAD) + bytes([codec])
+            + _CRC.pack(zlib.crc32(body)) + body)
+
+
+def _decode_body(codec: int, body: bytes) -> dict:
+    try:
+        if codec == CODEC_JSON:
+            message = json.loads(body.decode())
+        elif codec == CODEC_MSGPACK:
+            if msgpack is None:
+                raise ProtocolError(
+                    "peer sent a msgpack frame but msgpack is not installed"
+                )
+            message = msgpack.unpackb(body)
+        else:
+            raise ProtocolError(f"unknown codec id {codec}")
+    except ProtocolError:
+        raise
+    except Exception as exc:  # corrupt body: any decode failure counts
+        raise ProtocolError(f"undecodable frame body: {exc!r}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame body is not a message dict")
+    return message
+
+
+class FrameReader:
+    """Incremental frame decoder: feed raw socket bytes, get messages.
+
+    Keeps a byte buffer across :meth:`feed` calls so partial reads (TCP
+    delivers arbitrary chunks) reassemble correctly.  Raises
+    :class:`ProtocolError` on a corrupt length prefix or body; after
+    that the stream's framing can no longer be trusted and the
+    connection should be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    def feed(self, data: bytes) -> Iterator[dict]:
+        """Consume ``data``, yielding every complete message in it."""
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length < _OVERHEAD or length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame length {length} outside [{_OVERHEAD}, "
+                    f"{MAX_FRAME}] — corrupt length prefix?"
+                )
+            if len(self._buffer) < _LEN.size + length:
+                return
+            codec = self._buffer[_LEN.size]
+            (crc,) = _CRC.unpack_from(self._buffer, _LEN.size + 1)
+            body = bytes(
+                self._buffer[_LEN.size + _OVERHEAD:_LEN.size + length]
+            )
+            if zlib.crc32(body) != crc:
+                raise ProtocolError(
+                    "frame body failed its CRC check — corruption in flight"
+                )
+            del self._buffer[:_LEN.size + length]
+            self.frames_decoded += 1
+            yield _decode_body(codec, body)
+
+
+# -- message constructors ------------------------------------------------------
+
+
+def hello(session: str, resume: int = 0) -> dict:
+    """An opening handshake: start or resume ``session``."""
+    return {"type": "hello", "session": session, "resume": resume}
+
+
+def welcome(session: str, high: int, health: str) -> dict:
+    """The server's handshake reply with its high-water mark."""
+    return {"type": "welcome", "session": session, "high": high,
+            "health": health}
+
+
+def batch(session: str, seq: int, events: list) -> dict:
+    """One at-least-once batch of events at sequence ``seq``."""
+    return {"type": "batch", "session": session, "seq": seq,
+            "events": events}
+
+
+def ack(session: str, seq: int) -> dict:
+    """Cumulative acknowledgement of every batch ``<= seq``."""
+    return {"type": "ack", "session": session, "seq": seq}
+
+
+def error(code: str, message: str, *, retriable: bool,
+          seq: int | None = None, consumed: int = 0) -> dict:
+    """A typed failure; see the module docstring for the codes."""
+    payload = {"type": "error", "code": code, "message": message,
+               "retriable": retriable}
+    if seq is not None:
+        payload["seq"] = seq
+    if consumed:
+        payload["consumed"] = consumed
+    return payload
+
+
+def ping(nonce: int) -> dict:
+    """A liveness probe; the peer echoes ``nonce`` in a pong."""
+    return {"type": "ping", "nonce": nonce}
+
+
+def pong(nonce: int) -> dict:
+    """The reply to a :func:`ping` carrying the same nonce."""
+    return {"type": "pong", "nonce": nonce}
+
+
+def bye() -> dict:
+    """An orderly end-of-stream marker."""
+    return {"type": "bye"}
+
+
+# -- event records -------------------------------------------------------------
+
+
+def wire_op(op: Operation) -> list:
+    """Encode one operation as a compact wire event record."""
+    return [op.op.value, op.buu, op.key, op.seq]
+
+
+def wire_begin(buu: int, time: int) -> list:
+    """Encode a BUU-begin lifecycle wire event record."""
+    return ["b", buu, time]
+
+
+def wire_commit(buu: int, time: int) -> list:
+    """Encode a BUU-commit lifecycle wire event record."""
+    return ["c", buu, time]
+
+
+def encode_events(ops: Iterable[Operation]) -> list[list]:
+    """Encode a sequence of operations as wire event records."""
+    return [wire_op(op) for op in ops]
+
+
+def decode_events(records: list) -> list[tuple]:
+    """Decode wire event records into ``("op", Operation)`` /
+    ``("b"|"c", buu, time)`` tuples, validating as it goes."""
+    out: list[tuple] = []
+    for record in records:
+        try:
+            kind = record[0]
+            if kind in ("r", "w"):
+                out.append(("op", Operation(OpType(kind), record[1],
+                                            record[2], record[3])))
+            elif kind in ("b", "c"):
+                out.append((kind, record[1], record[2]))
+            else:
+                raise ProtocolError(f"unknown event kind {kind!r}")
+        except ProtocolError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(f"malformed event record {record!r}") from exc
+    return out

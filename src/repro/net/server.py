@@ -1,0 +1,680 @@
+"""The networked RushMon ingestion server.
+
+:class:`RushMonServer` listens on TCP, runs one reader thread per
+connection, and feeds decoded batches into a wrapped
+:class:`~repro.core.concurrent.RushMonService` (whose sharded collector
+does the actual thread-safe bookkeeping).  Its job is the **delivery
+contract** — at-least-once from the wire, effectively-once into the
+monitor:
+
+Sessions and sequence numbers
+    Each client holds a session id and numbers its batches 1, 2, 3, …
+    The server keeps a per-session *high-water* sequence (the last batch
+    fully ingested).  ``seq == high+1`` is ingested; ``seq <= high`` is
+    a **dedup hit** (the batch is a replay — re-acknowledged, never
+    re-ingested); a gap is a protocol violation (``bad-session``).
+
+Durable acknowledgements
+    With a ``checkpoint_path``, batches are acknowledged only after a
+    checkpoint covering them has been written (group commit: every
+    ``checkpoint_every`` batches, and at least every ``ack_interval``
+    seconds while acks are pending).  The session table rides inside the
+    service checkpoint (``extra_state``), and the ingest lock is held
+    across *batch ingest + high-water update* and across *checkpoint +
+    ack flush*, so a checkpoint is always a consistent cut: a batch is
+    either fully inside it (events + high-water) or fully absent (and
+    then unacknowledged, so the client replays it).  A server SIGKILLed
+    mid-stream and :func:`restore`-d therefore loses no acknowledged
+    batch and double-counts no replayed one.  Without a checkpoint path
+    acks follow ingestion immediately (at-least-once across server
+    crashes, effectively-once across reconnects).
+
+Typed failure propagation
+    Journal backpressure (``overflow="block"`` timeouts) and the
+    DEGRADED circuit-breaker state surface to clients as typed wire
+    errors rather than silent stalls; a backpressured batch records how
+    many of its events were already ingested so the client's resend is
+    resumed from that offset, never double-ingested.
+
+Graceful drain
+    :meth:`drain` (wired to SIGTERM by the ``repro serve`` CLI) stops
+    accepting work, flushes pending acknowledgements, stops the service
+    (final detection pass) and writes a final checkpoint.
+
+Fault injection: the ``net.accept``, ``net.recv`` and ``net.ack``
+points (kinds ``disconnect`` / ``delay`` / ``corrupt`` / ``exception``)
+let the chaos suite break the transport deterministically.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+
+from repro.core.concurrent.sharded import JournalBackpressure
+from repro.core.concurrent.service import RushMonService
+from repro.net import protocol
+from repro.net.protocol import FrameReader, ProtocolError, encode_frame
+from repro.obs.instrument import instrument_net_server
+
+_log = logging.getLogger(__name__)
+
+#: extra_state key the server's durable state lives under.
+_EXTRA_KEY = "net"
+
+
+class _Connection:
+    """One accepted client connection (socket + reader bookkeeping)."""
+
+    __slots__ = ("sock", "wlock", "reader", "session", "codec", "alive",
+                 "refused_high")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.wlock = threading.Lock()
+        self.reader = FrameReader()
+        self.session: str | None = None
+        self.codec = protocol.CODEC_JSON
+        self.alive = True
+        # Highest sequence this connection has refused (backpressure /
+        # degraded).  TCP preserves order, so while the session high is
+        # below this watermark an apparent sequence gap is the refusal's
+        # fault, not the client's — such batches get retriable refusals
+        # instead of a fatal bad-session.  A single boolean is not
+        # enough: accepting the resend of one refused batch must not
+        # forget that later refused batches are still outstanding.
+        self.refused_high = 0
+
+    def send(self, message: dict, *, corrupt: bool = False) -> None:
+        """Serialize and send one frame (thread-safe; reader replies and
+        the committer's acks share the socket)."""
+        frame = encode_frame(message, self.codec)
+        if corrupt:
+            index = len(frame) // 2
+            frame = frame[:index] + bytes([frame[index] ^ 0x40]) \
+                + frame[index + 1:]
+        with self.wlock:
+            self.sock.sendall(frame)
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RushMonServer:
+    """TCP front end for a :class:`RushMonService` (see module docstring).
+
+    Parameters
+    ----------
+    service:
+        The service to feed.  Must not run its own periodic
+        checkpointing (``checkpoint_interval``) — the server owns the
+        checkpoint cadence so that acknowledgements and durability stay
+        in lockstep.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    checkpoint_path:
+        Where durable state goes.  Enables durable acknowledgements;
+        when the service was :meth:`~RushMonService.restore`-d from this
+        path, the session table (and lifetime wire stats) come back with
+        it.  ``None`` acknowledges after ingestion without durability.
+    checkpoint_every:
+        Group-commit size: a checkpoint (and ack flush) happens after
+        this many ingested batches.
+    ack_interval:
+        Upper bound, in seconds, on how long an ingested batch may wait
+        for its group's checkpoint — a background committer flushes
+        stragglers so a quiet stream still gets acknowledged promptly.
+    drain_timeout:
+        Seconds :meth:`drain` waits for in-flight reader threads.
+    faults:
+        Optional :class:`~repro.testing.faults.FaultInjector` arming the
+        ``net.*`` points.
+    """
+
+    def __init__(
+        self,
+        service: RushMonService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 4,
+        ack_interval: float = 0.05,
+        drain_timeout: float = 5.0,
+        faults=None,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 batches")
+        if ack_interval <= 0 or drain_timeout <= 0:
+            raise ValueError("ack_interval and drain_timeout must be > 0")
+        if service._checkpoint_interval is not None:
+            raise ValueError(
+                "the service must not checkpoint on its own "
+                "(checkpoint_interval) under a RushMonServer: the server "
+                "owns the checkpoint cadence so acknowledgements imply "
+                "durability; pass checkpoint_path to the server instead"
+            )
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.ack_interval = ack_interval
+        self.drain_timeout = drain_timeout
+        self._faults = faults
+        # Delivery state.  _ingest_lock makes (ingest batch + advance
+        # high-water) and (checkpoint + flush acks) mutually atomic —
+        # the crux of the no-loss/no-double-count guarantee.
+        self._ingest_lock = threading.Lock()
+        restored = service.extra_state.get(_EXTRA_KEY, {})
+        #: session id -> [high_seq, partial_offset]
+        self._sessions: dict[str, list[int]] = {
+            sid: list(entry) for sid, entry in
+            restored.get("sessions", {}).items()
+        }
+        #: lifetime wire stats — survive restore so chaos accounting can
+        #: reconcile across server incarnations.
+        self.stats: dict[str, int] = {
+            "batches_accepted": 0, "batches_received": 0,
+            "dedup_hits": 0, "events_ingested": 0,
+        }
+        self.stats.update(restored.get("stats", {}))
+        #: per-session high-water covered by the last checkpoint: a
+        #: replayed batch at or below it can be re-acked immediately.
+        self._durable_high: dict[str, int] = {
+            sid: entry[0] for sid, entry in self._sessions.items()
+        }
+        self._pending_acks: list[tuple[_Connection, str, int, float]] = []
+        self._batches_since_commit = 0
+        # Transport state.
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._commit_thread: threading.Thread | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._draining = False
+        self._stopped = False
+        self.connections_total = 0
+        self.reconnect_hellos_total = 0
+        self.errors_sent: dict[str, int] = {}
+        registry = service.metrics
+        self._m_frames = registry.counter(
+            "rushmon_net_frames_total",
+            help="wire frames the server decoded",
+        )
+        self._m_batches = registry.counter(
+            "rushmon_net_batches_total",
+            help="batch messages received (accepted + dedup + refused)",
+        )
+        self._m_events = registry.counter(
+            "rushmon_net_events_ingested_total",
+            help="wire events ingested into the collector",
+        )
+        self._m_acks = registry.counter(
+            "rushmon_net_acks_total",
+            help="acknowledgement frames sent",
+        )
+        self._m_errors = registry.counter(
+            "rushmon_net_errors_total",
+            help="typed error frames sent to clients",
+        )
+        self._m_ack_latency = registry.histogram(
+            "rushmon_net_ack_latency_seconds",
+            help="batch receipt to acknowledgement send",
+        )
+        instrument_net_server(registry, self)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "RushMonServer":
+        """Bind, listen, and start the service + accept/commit threads."""
+        if self._stopped:
+            raise RuntimeError("RushMonServer is stopped; construct a new "
+                               "one (restore the checkpoint to resume)")
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(64)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.service.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="rushmon-net-accept", daemon=True,
+        )
+        self._accept_thread.start()
+        self._commit_thread = threading.Thread(
+            target=self._commit_loop, name="rushmon-net-commit", daemon=True,
+        )
+        self._commit_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def connections_current(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
+
+    @property
+    def sessions_current(self) -> int:
+        with self._ingest_lock:
+            return len(self._sessions)
+
+    def session_high(self, session: str) -> int:
+        """The in-memory high-water sequence for ``session`` (0 if new)."""
+        with self._ingest_lock:
+            entry = self._sessions.get(session)
+            return entry[0] if entry else 0
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, flush acknowledgements,
+        stop the service (final detection pass) and write the final
+        checkpoint.  Idempotent; wired to SIGTERM by ``repro serve``."""
+        if self._stopped:
+            return
+        self._draining = True
+        self._stop_event.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()
+        for thread in (self._accept_thread, self._commit_thread):
+            if thread is not None and thread.is_alive() \
+                    and thread is not threading.current_thread():
+                thread.join(self.drain_timeout)
+        # Acknowledge everything already ingested, then retire the
+        # service: readers that race a last batch in get a typed
+        # "draining" error and their client replays on the next server.
+        with self._ingest_lock:
+            self._commit_locked(force=True)
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.send(protocol.bye())
+            except OSError:
+                pass
+            conn.close()
+        if not self.service.stopped:
+            self.service.stop()
+        if self.checkpoint_path is not None:
+            with self._ingest_lock:
+                self._write_checkpoint_locked()
+        self._stopped = True
+
+    stop = drain
+
+    def __enter__(self) -> "RushMonServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    # -- accept / read loops ---------------------------------------------------
+
+    def _fire(self, point: str):
+        """Fire a net fault point; handles delay/exception inline and
+        returns disconnect/corrupt faults to the call site."""
+        if self._faults is None:
+            return None
+        fault = self._faults.fire(point)
+        if fault is None:
+            return None
+        if fault.kind == "delay":
+            time.sleep(fault.delay)
+            return None
+        if fault.kind in ("disconnect", "corrupt"):
+            return fault
+        raise fault.exc_factory()
+
+    def _accept_loop(self) -> None:
+        while not self._stop_event.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by drain()
+            try:
+                fault = self._fire("net.accept")
+            except Exception:
+                sock.close()
+                continue
+            if fault is not None:  # disconnect (corrupt is meaningless here)
+                sock.close()
+                continue
+            sock.settimeout(0.2)
+            conn = _Connection(sock)
+            with self._conn_lock:
+                self._connections.add(conn)
+            self.connections_total += 1
+            threading.Thread(
+                target=self._read_loop, args=(conn,),
+                name="rushmon-net-reader", daemon=True,
+            ).start()
+
+    def _read_loop(self, conn: _Connection) -> None:
+        try:
+            while conn.alive and not self._stop_event.is_set():
+                try:
+                    data = conn.sock.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not data:
+                    return  # peer closed
+                fault = self._fire("net.recv")
+                if fault is not None:
+                    if fault.kind == "disconnect":
+                        return
+                    index = len(data) // 2
+                    data = data[:index] + bytes([data[index] ^ 0x40]) \
+                        + data[index + 1:]
+                try:
+                    for message in conn.reader.feed(data):
+                        self._m_frames.inc()
+                        if not self._handle(conn, message):
+                            return
+                except ProtocolError as exc:
+                    # Framing can no longer be trusted: tell the client
+                    # (best effort) and drop the connection; it will
+                    # reconnect and replay.
+                    self._send_error(conn, protocol.error(
+                        "bad-frame", f"undecodable frame: {exc}",
+                        retriable=True,
+                    ))
+                    return
+        finally:
+            conn.close()
+            with self._conn_lock:
+                self._connections.discard(conn)
+
+    # -- message handling ------------------------------------------------------
+
+    def _send_error(self, conn: _Connection, message: dict) -> None:
+        self.errors_sent[message["code"]] = \
+            self.errors_sent.get(message["code"], 0) + 1
+        self._m_errors.inc()
+        try:
+            conn.send(message)
+        except OSError:
+            pass
+
+    def _handle(self, conn: _Connection, message: dict) -> bool:
+        """Dispatch one message; returns False to close the connection."""
+        kind = message.get("type")
+        if kind == "batch":
+            return self._handle_batch(conn, message)
+        if kind == "hello":
+            session = str(message.get("session", ""))
+            if not session:
+                self._send_error(conn, protocol.error(
+                    "bad-session", "hello without a session id",
+                    retriable=False,
+                ))
+                return False
+            conn.session = session
+            with self._ingest_lock:
+                entry = self._sessions.setdefault(session, [0, 0])
+                if message.get("resume", 0) or entry[0]:
+                    self.reconnect_hellos_total += 1
+                high = entry[0]
+            conn.send(protocol.welcome(session, high, self.service.health))
+            return True
+        if kind == "ping":
+            conn.send(protocol.pong(message.get("nonce", 0)))
+            return True
+        if kind == "bye":
+            return False
+        self._send_error(conn, protocol.error(
+            "bad-frame", f"unknown message type {kind!r}", retriable=True,
+        ))
+        return False
+
+    def _handle_batch(self, conn: _Connection, message: dict) -> bool:
+        received = time.monotonic()
+        self._m_batches.inc()
+        session = conn.session or str(message.get("session", ""))
+        seq = message.get("seq")
+        if not session or not isinstance(seq, int) or seq < 1:
+            self._send_error(conn, protocol.error(
+                "bad-frame", "batch without session/seq", retriable=False,
+            ))
+            return False
+        if self._draining:
+            self._send_error(conn, protocol.error(
+                "draining", "server is draining; replay on the next server",
+                retriable=True, seq=seq,
+            ))
+            return True
+        # An *empty* batch (a shed policy emptied it) carries nothing,
+        # so it is accepted even while DEGRADED — refusing it forever
+        # would wedge the session's sequence space.
+        if self.service.degraded and message.get("events"):
+            conn.refused_high = max(conn.refused_high, seq)
+            # The refused batch may carry a partially-ingested prefix
+            # from an earlier backpressure refusal — tell the client so
+            # a shed does not count already-ingested events as lost.
+            with self._ingest_lock:
+                entry = self._sessions.get(session)
+                already = (entry[1] if entry is not None
+                           and seq == entry[0] + 1 else 0)
+            self._send_error(conn, protocol.error(
+                "degraded", "detection circuit breaker tripped; the "
+                "service is DEGRADED and not accepting wire batches",
+                retriable=True, seq=seq, consumed=already,
+            ))
+            return True
+        with self._ingest_lock:
+            self.stats["batches_received"] += 1
+            entry = self._sessions.setdefault(session, [0, 0])
+            high, offset = entry
+            if seq <= high:
+                # Replay of an already-ingested batch: count it, never
+                # re-ingest.  If a checkpoint already covers it the ack
+                # can go out immediately; otherwise it joins the batch's
+                # original commit group.
+                self.stats["dedup_hits"] += 1
+                if self.checkpoint_path is None \
+                        or seq <= self._durable_high.get(session, 0):
+                    self._send_ack(conn, session, seq, received)
+                else:
+                    self._pending_acks.append((conn, session, seq, received))
+                return True
+            if seq != high + 1:
+                if conn.refused_high > high:
+                    # Pipelined behind a refused batch: the gap is ours.
+                    # This batch is now refused too — remember it, so
+                    # batches pipelined behind *it* stay retriable even
+                    # after the earlier refusals are re-accepted.
+                    conn.refused_high = max(conn.refused_high, seq)
+                    self._send_error(conn, protocol.error(
+                        "backpressure",
+                        f"batch {high + 1} was refused and not yet "
+                        f"resent; resend {seq} after it",
+                        retriable=True, seq=seq,
+                    ))
+                    return True
+                self._send_error(conn, protocol.error(
+                    "bad-session",
+                    f"sequence gap: expected {high + 1}, got {seq}",
+                    retriable=False, seq=seq,
+                ))
+                return False
+            try:
+                events = protocol.decode_events(message.get("events", []))
+            except ProtocolError as exc:
+                self._send_error(conn, protocol.error(
+                    "bad-frame", f"malformed batch events: {exc}",
+                    retriable=False, seq=seq,
+                ))
+                return False
+            try:
+                ingested = self._ingest_locked(events, offset)
+            except JournalBackpressure as exc:
+                # Partial ingest: remember how far we got so the
+                # client's resend resumes at the offset — the prefix is
+                # never double-ingested.  Credit the newly consumed
+                # prefix now; the resend's accept only counts from the
+                # stored offset onward.
+                consumed = exc.consumed  # type: ignore[attr-defined]
+                entry[1] = consumed
+                self.stats["events_ingested"] += consumed - offset
+                self._m_events.inc(consumed - offset)
+                conn.refused_high = max(conn.refused_high, seq)
+                self._send_error(conn, protocol.error(
+                    "backpressure", str(exc), retriable=True, seq=seq,
+                    consumed=consumed,
+                ))
+                return True
+            except RuntimeError:
+                conn.refused_high = max(conn.refused_high, seq)
+                self._send_error(conn, protocol.error(
+                    "draining", "service stopped mid-batch; replay on the "
+                    "next server", retriable=True, seq=seq,
+                ))
+                return True
+            entry[0] = seq
+            entry[1] = 0
+            self.stats["batches_accepted"] += 1
+            self.stats["events_ingested"] += ingested
+            self._m_events.inc(ingested)
+            self._batches_since_commit += 1
+            if self.checkpoint_path is None:
+                self._send_ack(conn, session, seq, received)
+            else:
+                self._pending_acks.append((conn, session, seq, received))
+                if self._batches_since_commit >= self.checkpoint_every:
+                    self._commit_locked()
+        return True
+
+    def _ingest_locked(self, events: list[tuple], offset: int) -> int:
+        """Feed decoded events ``[offset:]`` to the service, in order.
+
+        With an unbounded journal (or a non-raising overflow policy)
+        runs of consecutive operations go through the batched ingest
+        path; under ``overflow="block"`` events are fed one at a time so
+        a backpressure timeout reports exactly how many were consumed.
+        """
+        service = self.service
+        collector = service.collector
+        count = len(events) - offset
+        if count <= 0:
+            return 0
+        blocking = (collector.journal_capacity is not None
+                    and collector.overflow == "block")
+        if not blocking:
+            run: list = []
+            flush = service.on_operations
+            for event in events[offset:] if offset else events:
+                if event[0] == "op":
+                    run.append(event[1])
+                    continue
+                if run:
+                    flush(run)
+                    run = []
+                if event[0] == "b":
+                    service.begin_buu(event[1], event[2])
+                else:
+                    service.commit_buu(event[1], event[2])
+            if run:
+                flush(run)
+            return count
+        consumed = 0
+        try:
+            for index in range(offset, len(events)):
+                event = events[index]
+                if event[0] == "op":
+                    service.on_operation(event[1])
+                elif event[0] == "b":
+                    service.begin_buu(event[1], event[2])
+                else:
+                    service.commit_buu(event[1], event[2])
+                consumed += 1
+        except JournalBackpressure as exc:
+            exc.consumed = offset + consumed  # type: ignore[attr-defined]
+            raise
+        return count
+
+    # -- durability / acknowledgement -----------------------------------------
+
+    def _write_checkpoint_locked(self) -> None:
+        """Checkpoint the service with the session table embedded;
+        caller holds the ingest lock, so the cut is batch-consistent."""
+        self.service.extra_state = {_EXTRA_KEY: {
+            "sessions": {sid: list(entry)
+                         for sid, entry in self._sessions.items()},
+            "stats": dict(self.stats),
+        }}
+        self.service.checkpoint(self.checkpoint_path)
+        self._durable_high = {
+            sid: entry[0] for sid, entry in self._sessions.items()
+        }
+
+    def _commit_locked(self, force: bool = False) -> None:
+        """Group commit: persist state, then flush every pending ack.
+        Caller holds the ingest lock."""
+        if not self._pending_acks and not (force and self._batches_since_commit):
+            self._batches_since_commit = 0
+            return
+        if self.checkpoint_path is not None:
+            self._write_checkpoint_locked()
+        pending, self._pending_acks = self._pending_acks, []
+        self._batches_since_commit = 0
+        for conn, session, seq, received in pending:
+            self._send_ack(conn, session, seq, received)
+
+    def _send_ack(self, conn: _Connection, session: str, seq: int,
+                  received: float) -> None:
+        corrupt = False
+        try:
+            fault = self._fire("net.ack")
+        except Exception:
+            conn.close()
+            return
+        if fault is not None:
+            if fault.kind == "disconnect":
+                # The batch is ingested (and possibly durable) but the
+                # ack is lost with the connection: the client replays
+                # and the replay dedups — the invariant the chaos suite
+                # reconciles.
+                conn.close()
+                return
+            corrupt = True
+        try:
+            conn.send(protocol.ack(session, seq), corrupt=corrupt)
+        except OSError:
+            return
+        self._m_acks.inc()
+        self._m_ack_latency.observe(time.monotonic() - received)
+
+    def _commit_loop(self) -> None:
+        """Bound ack latency: flush pending acks at least every
+        ``ack_interval`` even when the stream goes quiet mid-group."""
+        while not self._stop_event.wait(self.ack_interval):
+            with self._ingest_lock:
+                if self._pending_acks:
+                    oldest = self._pending_acks[0][3]
+                    if time.monotonic() - oldest >= self.ack_interval:
+                        self._commit_locked()

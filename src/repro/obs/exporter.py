@@ -66,6 +66,7 @@ class MetricsExporter:
         self.registry = registry
         self.host = host
         self._requested_port = port
+        self._bound_port: int | None = None
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -89,6 +90,10 @@ class MetricsExporter:
             ) from exc
         server.daemon_threads = True
         server.registry = self.registry  # type: ignore[attr-defined]
+        # Cache the resolved port: with port=0 the kernel assigns it at
+        # bind time, and callers need it after stop() too (to report
+        # where the exporter *was*), so it must not die with _server.
+        self._bound_port = server.server_address[1]
         self._server = server
         self._thread = threading.Thread(
             target=server.serve_forever, name="rushmon-metrics-exporter",
@@ -113,9 +118,12 @@ class MetricsExporter:
 
     @property
     def port(self) -> int:
-        if self._server is None:
+        """The bound port (the ephemeral one the kernel picked when
+        constructed with ``port=0``).  Stays readable after ``stop()``;
+        raises only if the exporter never started."""
+        if self._bound_port is None:
             raise RuntimeError("exporter is not running")
-        return self._server.server_address[1]
+        return self._bound_port
 
     @property
     def url(self) -> str:

@@ -20,6 +20,8 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "instrument_detector",
+    "instrument_net_client",
+    "instrument_net_server",
     "instrument_serial_monitor",
 ]
 
@@ -105,3 +107,76 @@ def instrument_serial_monitor(registry: MetricsRegistry, monitor: Any) -> None:
         help="monitoring windows closed so far",
     )
     instrument_detector(registry, monitor.detector)
+
+
+def instrument_net_server(registry: MetricsRegistry, server: Any) -> None:
+    """Export a :class:`~repro.net.server.RushMonServer`'s connection
+    and delivery readings (the server registers its own frame/ack
+    counters and ack-latency histogram inline — those must observe
+    during execution; everything here is a lazy callback).
+    """
+    registry.gauge_fn(
+        "rushmon_net_connections_current",
+        lambda: float(server.connections_current),
+        help="client connections currently open",
+    )
+    registry.gauge_fn(
+        "rushmon_net_connections_total",
+        lambda: float(server.connections_total),
+        help="client connections accepted since start",
+    )
+    registry.gauge_fn(
+        "rushmon_net_sessions_current",
+        lambda: float(server.sessions_current),
+        help="client sessions the server holds delivery state for",
+    )
+    registry.gauge_fn(
+        "rushmon_net_reconnect_hellos_total",
+        lambda: float(server.reconnect_hellos_total),
+        help="hello messages that resumed an existing session "
+             "(client reconnects, as the server sees them)",
+    )
+    registry.gauge_fn(
+        "rushmon_net_dedup_hits_total",
+        lambda: float(server.stats["dedup_hits"]),
+        help="replayed batches absorbed by per-session dedup "
+             "(reconciles with client retransmits; survives restore)",
+    )
+    registry.gauge_fn(
+        "rushmon_net_batches_accepted_total",
+        lambda: float(server.stats["batches_accepted"]),
+        help="distinct batches ingested into the collector "
+             "(lifetime, survives restore)",
+    )
+
+
+def instrument_net_client(registry: MetricsRegistry, client: Any) -> None:
+    """Export a :class:`~repro.net.client.RushMonClient`'s delivery
+    counters and queue state for embedders that host the producer."""
+    for name, attr, help_text in (
+        ("rushmon_net_client_batches_sent_total", "batches_sent_total",
+         "batch frames sent (first sends + retransmits)"),
+        ("rushmon_net_client_retransmits_total", "retransmits_total",
+         "batch frames re-sent after a reconnect or typed error"),
+        ("rushmon_net_client_reconnects_total", "reconnects_total",
+         "successful connections after the first"),
+        ("rushmon_net_client_acked_batches_total", "acked_batches_total",
+         "batches acknowledged by the server"),
+        ("rushmon_net_client_shed_events_total", "shed_events_total",
+         "events dropped by the client's shed policies (honest loss)"),
+    ):
+        registry.gauge_fn(
+            name,
+            lambda a=attr: float(getattr(client, a)),
+            help=help_text,
+        )
+    registry.gauge_fn(
+        "rushmon_net_client_queue_depth",
+        lambda: float(client.queue_depth),
+        help="events waiting in the client's bounded queue",
+    )
+    registry.gauge_fn(
+        "rushmon_net_client_unacked_batches",
+        lambda: float(client.unacked_batches),
+        help="batches sent but not yet acknowledged",
+    )

@@ -207,10 +207,18 @@ def load_checkpoint(path: str | Path) -> dict:
     """
     path = Path(path)
     try:
-        with open(path) as handle:
-            raw = handle.read()
+        with open(path, "rb") as handle:
+            raw_bytes = handle.read()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    # Decode explicitly: a flipped bit can make the file invalid UTF-8,
+    # and that is corruption (CheckpointError), not a caller bug.
+    try:
+        raw = raw_bytes.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid UTF-8 (bit rot?)"
+        ) from exc
     try:
         document = json.loads(raw)
     except json.JSONDecodeError as exc:

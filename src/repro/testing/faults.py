@@ -26,6 +26,21 @@ Injection points wired into the pipeline
 ``detect.process``
     Before each journal event is applied to the detector, mid-pass —
     exercises the service's re-queue-on-failure crash safety.
+``net.accept``
+    In :class:`~repro.net.server.RushMonServer`'s accept loop, after a
+    connection is accepted but before its reader thread starts — a
+    ``disconnect`` fault drops the fresh connection on the floor
+    (clients must retry with backoff).
+``net.recv``
+    Per received chunk in a server reader thread.  ``disconnect`` tears
+    the connection down mid-stream; ``corrupt`` flips one byte of the
+    chunk before decoding (the framing layer must refuse it, never
+    ingest garbage).
+``net.ack``
+    Just before an acknowledgement frame is sent.  ``disconnect``
+    closes the connection with the batch ingested but the ack lost —
+    forcing the client's retransmit/server-dedup path; ``corrupt``
+    flips a byte of the ack frame on the wire.
 
 Fault kinds
 -----------
@@ -37,6 +52,11 @@ Fault kinds
 ``partial_drain``
     Only meaningful at ``journal.drain``: hand the caller the first
     ``fraction`` of the drained batch and re-queue the rest.
+``disconnect``
+    Only meaningful at ``net.*`` points: drop the TCP connection.
+``corrupt``
+    Only meaningful at ``net.recv`` / ``net.ack``: flip one byte of
+    the data in flight.
 
 Scheduling: each fault skips its first ``after`` eligible calls, then
 fires on every ``every``-th call, at most ``times`` times.  All
@@ -58,10 +78,13 @@ POINTS = (
     "journal.drain",
     "detect.pass",
     "detect.process",
+    "net.accept",
+    "net.recv",
+    "net.ack",
 )
 
 #: Fault kinds understood by the call sites.
-KINDS = ("exception", "delay", "partial_drain")
+KINDS = ("exception", "delay", "partial_drain", "disconnect", "corrupt")
 
 
 class InjectedFault(RuntimeError):
@@ -100,6 +123,11 @@ class Fault:
             )
         if self.kind == "partial_drain" and self.point != "journal.drain":
             raise ValueError("partial_drain only applies to journal.drain")
+        if self.kind == "disconnect" and not self.point.startswith("net."):
+            raise ValueError("disconnect only applies to net.* points")
+        if self.kind == "corrupt" and self.point not in (
+                "net.recv", "net.ack"):
+            raise ValueError("corrupt only applies to net.recv / net.ack")
         if self.after < 0 or self.every < 1:
             raise ValueError("after must be >= 0 and every >= 1")
         if self.times is not None and self.times < 1:

@@ -282,3 +282,55 @@ def test_circuit_breaker_degraded_state_is_visible_everywhere():
 
     assert service.stop() is service.latest_report()
     assert service.latest_report().health == "degraded"
+
+
+def test_degrade_steps_down_one_shift_per_light_drain():
+    """The recovery side of the 'degrade' overflow policy, pinned step
+    by step: a drain that comes up light (under half the capacity)
+    lowers the shift by exactly one — never more — while a heavy drain
+    only reopens the escalation epoch and holds the shift."""
+    from repro.core.concurrent.sharded import ShardedCollector
+
+    collector = ShardedCollector(
+        sampling_rate=1, mob=False, num_shards=1, journal=True,
+        journal_capacity=8, overflow="degrade", seed=5,
+    )
+    ops = iter(_ops(400, 64, seed=17))
+
+    def feed(count):
+        for _ in range(count):
+            collector.handle(next(ops))
+
+    # Escalate to shift=3: each overfill raises the shift once per
+    # epoch, and the (heavy) drain between overfills holds it.
+    for expected in (1, 2, 3):
+        feed(9)  # capacity is 8: the 9th op overflows
+        assert collector.degrade_shift == expected
+        feed(3)  # same epoch: a burst escalates one step, not three
+        assert collector.degrade_shift == expected
+        drained = collector.drain_journal()
+        assert len(drained) >= collector.journal_capacity // 2  # heavy
+        assert collector.degrade_shift == expected  # held, not lowered
+    assert collector.degrade_shifts_total == 3
+    assert collector.sampling_probability == pytest.approx(0.5 ** 3)
+
+    # Recover: each light drain steps down exactly once, and the
+    # effective probability recalibrates at every step.
+    for expected in (2, 1, 0):
+        feed(2)
+        drained = collector.drain_journal()
+        assert len(drained) < collector.journal_capacity // 2  # light
+        assert collector.degrade_shift == expected
+        assert collector.sampling_probability == pytest.approx(
+            0.5 ** expected
+        )
+    # Every transition (3 up, 3 down) was recorded.
+    assert collector.degrade_shifts_total == 6
+
+    # Stepping down below zero is impossible: further light drains are
+    # no-ops on the shift and on the transition counter.
+    feed(2)
+    collector.drain_journal()
+    assert collector.degrade_shift == 0
+    assert collector.degrade_shifts_total == 6
+    assert collector.sampling_probability == 1.0

@@ -183,6 +183,42 @@ class TestExporter:
         exporter.stop()
         exporter.stop()
 
+    def test_ephemeral_ports_never_collide_side_by_side(self):
+        """port=0 asks the kernel, so N exporters (parallel tests, a
+        server and a monitor on one host) all bind distinct ports."""
+        exporters = [MetricsExporter(MetricsRegistry()).start()
+                     for _ in range(4)]
+        try:
+            ports = [e.port for e in exporters]
+            assert len(set(ports)) == len(ports)
+            for exporter in exporters:
+                with urllib.request.urlopen(f"{exporter.url}/metrics"):
+                    pass
+        finally:
+            for exporter in exporters:
+                exporter.stop()
+
+    def test_bound_port_stays_readable_after_stop(self):
+        """Harnesses report where the exporter *was* after shutdown —
+        the resolved ephemeral port must survive stop()."""
+        exporter = MetricsExporter(MetricsRegistry()).start()
+        bound = exporter.port
+        assert bound > 0
+        exporter.stop()
+        assert not exporter.running
+        assert exporter.port == bound
+
+    def test_bind_conflict_raises_actionable_error(self):
+        """A fixed port that is already taken fails with the address in
+        the message and a pointer at port=0, not a bare OSError."""
+        first = MetricsExporter(MetricsRegistry()).start()
+        try:
+            clash = MetricsExporter(MetricsRegistry(), port=first.port)
+            with pytest.raises(RuntimeError, match=str(first.port)):
+                clash.start()
+        finally:
+            first.stop()
+
 
 # -- monitor instrumentation --------------------------------------------------
 
