@@ -433,8 +433,16 @@ class RushMonClient:
         # (client retransmits vs server dedup hits) stay reconcilable.
         with self._lock:
             pending = list(self._pending)
-        for batch in pending:
-            self._send_batch(batch)
+        try:
+            for batch in pending:
+                self._send_batch(batch)
+        except (OSError, ProtocolError):
+            # A replay into a dead/saturated connection must not escape
+            # and kill the sender thread — drop the socket and report
+            # failure so the normal backoff path retries the connect
+            # (and with it the whole replay).
+            self._drop_socket()
+            return False
         return True
 
     def _await_welcome(self, sock: socket.socket) -> dict | None:

@@ -133,6 +133,15 @@ class RushMonServer:
         stragglers so a quiet stream still gets acknowledged promptly.
     drain_timeout:
         Seconds :meth:`drain` waits for in-flight reader threads.
+    session_ttl:
+        Idle seconds after which a session-table entry may be evicted
+        (only once its high-water is durable and no live connection or
+        pending ack references it).  ``None`` disables eviction — then
+        deployments with many short-lived clients should reuse stable
+        session ids, or the table (and every checkpoint) grows one
+        entry per client run without bound.  A client resuming an
+        evicted session starts a fresh sequence space, so the TTL must
+        comfortably exceed the longest expected client outage.
     faults:
         Optional :class:`~repro.testing.faults.FaultInjector` arming the
         ``net.*`` points.
@@ -148,12 +157,16 @@ class RushMonServer:
         checkpoint_every: int = 4,
         ack_interval: float = 0.05,
         drain_timeout: float = 5.0,
+        session_ttl: float | None = 3600.0,
         faults=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1 batches")
         if ack_interval <= 0 or drain_timeout <= 0:
             raise ValueError("ack_interval and drain_timeout must be > 0")
+        if session_ttl is not None and session_ttl <= 0:
+            raise ValueError("session_ttl must be > 0 seconds (or None "
+                             "to disable idle-session eviction)")
         if service._checkpoint_interval is not None:
             raise ValueError(
                 "the service must not checkpoint on its own "
@@ -168,6 +181,7 @@ class RushMonServer:
         self.checkpoint_every = checkpoint_every
         self.ack_interval = ack_interval
         self.drain_timeout = drain_timeout
+        self.session_ttl = session_ttl
         self._faults = faults
         # Delivery state.  _ingest_lock makes (ingest batch + advance
         # high-water) and (checkpoint + flush acks) mutually atomic —
@@ -191,6 +205,11 @@ class RushMonServer:
         self._durable_high: dict[str, int] = {
             sid: entry[0] for sid, entry in self._sessions.items()
         }
+        #: session id -> last activity (hello or batch), for TTL
+        #: eviction; restored sessions start their idle clock now.
+        self._session_seen: dict[str, float] = {
+            sid: time.monotonic() for sid in self._sessions
+        }
         self._pending_acks: list[tuple[_Connection, str, int, float]] = []
         self._batches_since_commit = 0
         # Transport state.
@@ -204,6 +223,7 @@ class RushMonServer:
         self._stopped = False
         self.connections_total = 0
         self.reconnect_hellos_total = 0
+        self.sessions_evicted_total = 0
         self.errors_sent: dict[str, int] = {}
         registry = service.metrics
         self._m_frames = registry.counter(
@@ -303,7 +323,9 @@ class RushMonServer:
         # service: readers that race a last batch in get a typed
         # "draining" error and their client replays on the next server.
         with self._ingest_lock:
-            self._commit_locked(force=True)
+            final_acks = self._commit_locked(force=True)
+        for ack in final_acks:
+            self._send_ack(*ack)
         with self._conn_lock:
             connections = list(self._connections)
         for conn in connections:
@@ -437,13 +459,21 @@ class RushMonServer:
             conn.session = session
             with self._ingest_lock:
                 entry = self._sessions.setdefault(session, [0, 0])
+                self._session_seen[session] = time.monotonic()
                 if message.get("resume", 0) or entry[0]:
                     self.reconnect_hellos_total += 1
                 high = entry[0]
-            conn.send(protocol.welcome(session, high, self.service.health))
+            try:
+                conn.send(protocol.welcome(session, high,
+                                           self.service.health))
+            except OSError:
+                return False  # peer vanished between hello and welcome
             return True
         if kind == "ping":
-            conn.send(protocol.pong(message.get("nonce", 0)))
+            try:
+                conn.send(protocol.pong(message.get("nonce", 0)))
+            except OSError:
+                return False
             return True
         if kind == "bye":
             return False
@@ -455,11 +485,23 @@ class RushMonServer:
     def _handle_batch(self, conn: _Connection, message: dict) -> bool:
         received = time.monotonic()
         self._m_batches.inc()
-        session = conn.session or str(message.get("session", ""))
+        wire_session = str(message.get("session", "") or "")
+        session = conn.session or wire_session
         seq = message.get("seq")
         if not session or not isinstance(seq, int) or seq < 1:
             self._send_error(conn, protocol.error(
                 "bad-frame", "batch without session/seq", retriable=False,
+            ))
+            return False
+        if conn.session and wire_session and wire_session != conn.session:
+            # A batch stamped with a different session than the hello is
+            # a client bug; sequencing it under the hello's session would
+            # silently corrupt that session's sequence space.
+            self._send_error(conn, protocol.error(
+                "bad-session",
+                f"batch stamped session {wire_session!r} on a connection "
+                f"that helloed as {conn.session!r}",
+                retriable=False, seq=seq,
             ))
             return False
         if self._draining:
@@ -486,88 +528,112 @@ class RushMonServer:
                 retriable=True, seq=seq, consumed=already,
             ))
             return True
+        acks: list[tuple[_Connection, str, int, float]] = []
         with self._ingest_lock:
-            self.stats["batches_received"] += 1
-            entry = self._sessions.setdefault(session, [0, 0])
-            high, offset = entry
-            if seq <= high:
-                # Replay of an already-ingested batch: count it, never
-                # re-ingest.  If a checkpoint already covers it the ack
-                # can go out immediately; otherwise it joins the batch's
-                # original commit group.
-                self.stats["dedup_hits"] += 1
-                if self.checkpoint_path is None \
-                        or seq <= self._durable_high.get(session, 0):
-                    self._send_ack(conn, session, seq, received)
-                else:
-                    self._pending_acks.append((conn, session, seq, received))
-                return True
-            if seq != high + 1:
-                if conn.refused_high > high:
-                    # Pipelined behind a refused batch: the gap is ours.
-                    # This batch is now refused too — remember it, so
-                    # batches pipelined behind *it* stay retriable even
-                    # after the earlier refusals are re-accepted.
-                    conn.refused_high = max(conn.refused_high, seq)
-                    self._send_error(conn, protocol.error(
-                        "backpressure",
-                        f"batch {high + 1} was refused and not yet "
-                        f"resent; resend {seq} after it",
-                        retriable=True, seq=seq,
-                    ))
-                    return True
-                self._send_error(conn, protocol.error(
-                    "bad-session",
-                    f"sequence gap: expected {high + 1}, got {seq}",
-                    retriable=False, seq=seq,
-                ))
-                return False
-            try:
-                events = protocol.decode_events(message.get("events", []))
-            except ProtocolError as exc:
-                self._send_error(conn, protocol.error(
-                    "bad-frame", f"malformed batch events: {exc}",
-                    retriable=False, seq=seq,
-                ))
-                return False
-            try:
-                ingested = self._ingest_locked(events, offset)
-            except JournalBackpressure as exc:
-                # Partial ingest: remember how far we got so the
-                # client's resend resumes at the offset — the prefix is
-                # never double-ingested.  Credit the newly consumed
-                # prefix now; the resend's accept only counts from the
-                # stored offset onward.
-                consumed = exc.consumed  # type: ignore[attr-defined]
-                entry[1] = consumed
-                self.stats["events_ingested"] += consumed - offset
-                self._m_events.inc(consumed - offset)
-                conn.refused_high = max(conn.refused_high, seq)
-                self._send_error(conn, protocol.error(
-                    "backpressure", str(exc), retriable=True, seq=seq,
-                    consumed=consumed,
-                ))
-                return True
-            except RuntimeError:
-                conn.refused_high = max(conn.refused_high, seq)
-                self._send_error(conn, protocol.error(
-                    "draining", "service stopped mid-batch; replay on the "
-                    "next server", retriable=True, seq=seq,
-                ))
-                return True
-            entry[0] = seq
-            entry[1] = 0
-            self.stats["batches_accepted"] += 1
-            self.stats["events_ingested"] += ingested
-            self._m_events.inc(ingested)
-            self._batches_since_commit += 1
-            if self.checkpoint_path is None:
-                self._send_ack(conn, session, seq, received)
+            keep, error = self._sequence_batch_locked(
+                conn, session, seq, message, received, acks)
+        # Socket writes happen only after the ingest lock is released: a
+        # slow client socket must never stall ingestion for every other
+        # session.  Durability was established under the lock; losing an
+        # ack here only means a replay, which dedups.
+        for ack in acks:
+            self._send_ack(*ack)
+        if error is not None:
+            self._send_error(conn, error)
+        return keep
+
+    def _sequence_batch_locked(
+        self,
+        conn: _Connection,
+        session: str,
+        seq: int,
+        message: dict,
+        received: float,
+        acks: list[tuple[_Connection, str, int, float]],
+    ) -> tuple[bool, dict | None]:
+        """Sequence/ingest one batch; caller holds the ingest lock.
+
+        Appends acks to flush (after the caller releases the lock) to
+        ``acks`` and returns ``(keep_connection, error_message_or_None)``
+        — no socket I/O happens here.
+        """
+        self.stats["batches_received"] += 1
+        self._session_seen[session] = time.monotonic()
+        entry = self._sessions.setdefault(session, [0, 0])
+        high, offset = entry
+        if seq <= high:
+            # Replay of an already-ingested batch: count it, never
+            # re-ingest.  If a checkpoint already covers it the ack
+            # can go out immediately; otherwise it joins the batch's
+            # original commit group.
+            self.stats["dedup_hits"] += 1
+            if self.checkpoint_path is None \
+                    or seq <= self._durable_high.get(session, 0):
+                acks.append((conn, session, seq, received))
             else:
                 self._pending_acks.append((conn, session, seq, received))
-                if self._batches_since_commit >= self.checkpoint_every:
-                    self._commit_locked()
-        return True
+            return True, None
+        if seq != high + 1:
+            if conn.refused_high > high:
+                # Pipelined behind a refused batch: the gap is ours.
+                # This batch is now refused too — remember it, so
+                # batches pipelined behind *it* stay retriable even
+                # after the earlier refusals are re-accepted.
+                conn.refused_high = max(conn.refused_high, seq)
+                return True, protocol.error(
+                    "backpressure",
+                    f"batch {high + 1} was refused and not yet "
+                    f"resent; resend {seq} after it",
+                    retriable=True, seq=seq,
+                )
+            return False, protocol.error(
+                "bad-session",
+                f"sequence gap: expected {high + 1}, got {seq}",
+                retriable=False, seq=seq,
+            )
+        try:
+            events = protocol.decode_events(message.get("events", []))
+        except ProtocolError as exc:
+            return False, protocol.error(
+                "bad-frame", f"malformed batch events: {exc}",
+                retriable=False, seq=seq,
+            )
+        try:
+            ingested = self._ingest_locked(events, offset)
+        except JournalBackpressure as exc:
+            # Partial ingest: remember how far we got so the
+            # client's resend resumes at the offset — the prefix is
+            # never double-ingested.  Credit the newly consumed
+            # prefix now; the resend's accept only counts from the
+            # stored offset onward.
+            consumed = exc.consumed  # type: ignore[attr-defined]
+            entry[1] = consumed
+            self.stats["events_ingested"] += consumed - offset
+            self._m_events.inc(consumed - offset)
+            conn.refused_high = max(conn.refused_high, seq)
+            return True, protocol.error(
+                "backpressure", str(exc), retriable=True, seq=seq,
+                consumed=consumed,
+            )
+        except RuntimeError:
+            conn.refused_high = max(conn.refused_high, seq)
+            return True, protocol.error(
+                "draining", "service stopped mid-batch; replay on the "
+                "next server", retriable=True, seq=seq,
+            )
+        entry[0] = seq
+        entry[1] = 0
+        self.stats["batches_accepted"] += 1
+        self.stats["events_ingested"] += ingested
+        self._m_events.inc(ingested)
+        self._batches_since_commit += 1
+        if self.checkpoint_path is None:
+            acks.append((conn, session, seq, received))
+        else:
+            self._pending_acks.append((conn, session, seq, received))
+            if self._batches_since_commit >= self.checkpoint_every:
+                acks.extend(self._commit_locked())
+        return True, None
 
     def _ingest_locked(self, events: list[tuple], offset: int) -> int:
         """Feed decoded events ``[offset:]`` to the service, in order.
@@ -632,18 +698,21 @@ class RushMonServer:
             sid: entry[0] for sid, entry in self._sessions.items()
         }
 
-    def _commit_locked(self, force: bool = False) -> None:
-        """Group commit: persist state, then flush every pending ack.
-        Caller holds the ingest lock."""
+    def _commit_locked(
+        self, force: bool = False,
+    ) -> list[tuple[_Connection, str, int, float]]:
+        """Group commit: persist state and *return* the acks now covered
+        by it.  Caller holds the ingest lock and must send the returned
+        acks after releasing it — one slow client socket must not hold
+        the global ingest lock hostage."""
         if not self._pending_acks and not (force and self._batches_since_commit):
             self._batches_since_commit = 0
-            return
+            return []
         if self.checkpoint_path is not None:
             self._write_checkpoint_locked()
         pending, self._pending_acks = self._pending_acks, []
         self._batches_since_commit = 0
-        for conn, session, seq, received in pending:
-            self._send_ack(conn, session, seq, received)
+        return pending
 
     def _send_ack(self, conn: _Connection, session: str, seq: int,
                   received: float) -> None:
@@ -671,10 +740,48 @@ class RushMonServer:
 
     def _commit_loop(self) -> None:
         """Bound ack latency: flush pending acks at least every
-        ``ack_interval`` even when the stream goes quiet mid-group."""
+        ``ack_interval`` even when the stream goes quiet mid-group.
+        Doubles as the session-table janitor (idle-session eviction)."""
         while not self._stop_event.wait(self.ack_interval):
+            pending: list[tuple[_Connection, str, int, float]] = []
             with self._ingest_lock:
                 if self._pending_acks:
                     oldest = self._pending_acks[0][3]
                     if time.monotonic() - oldest >= self.ack_interval:
-                        self._commit_locked()
+                        pending = self._commit_locked()
+            for ack in pending:
+                self._send_ack(*ack)
+            self._evict_idle_sessions()
+
+    def _evict_idle_sessions(self) -> None:
+        """Expire session-table entries idle past ``session_ttl``.
+
+        Eviction is safe only once a session's high-water is durable
+        (always true without a checkpoint path, where acks imply
+        nothing survives a crash anyway), it holds no partial-ingest
+        offset, and no live connection or pending ack references it —
+        otherwise a long-lived server grows one entry (and a bigger
+        checkpoint) per client run, forever.
+        """
+        if self.session_ttl is None or not self._sessions:
+            return
+        now = time.monotonic()
+        with self._conn_lock:
+            live = {c.session for c in self._connections if c.session}
+        with self._ingest_lock:
+            referenced = {item[1] for item in self._pending_acks}
+            for sid in list(self._sessions):
+                if sid in live or sid in referenced:
+                    continue
+                if now - self._session_seen.get(sid, now) < self.session_ttl:
+                    continue
+                entry = self._sessions[sid]
+                if entry[1]:
+                    continue  # mid-backpressure partial ingest: keep
+                if self.checkpoint_path is not None \
+                        and entry[0] > self._durable_high.get(sid, 0):
+                    continue  # not yet checkpointed: keep until durable
+                del self._sessions[sid]
+                self._durable_high.pop(sid, None)
+                self._session_seen.pop(sid, None)
+                self.sessions_evicted_total += 1

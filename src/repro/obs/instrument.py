@@ -131,6 +131,11 @@ def instrument_net_server(registry: MetricsRegistry, server: Any) -> None:
         help="client sessions the server holds delivery state for",
     )
     registry.gauge_fn(
+        "rushmon_net_sessions_evicted_total",
+        lambda: float(server.sessions_evicted_total),
+        help="idle session-table entries expired by the session TTL",
+    )
+    registry.gauge_fn(
         "rushmon_net_reconnect_hellos_total",
         lambda: float(server.reconnect_hellos_total),
         help="hello messages that resumed an existing session "

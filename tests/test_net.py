@@ -291,6 +291,68 @@ def test_sequence_gap_is_a_protocol_violation():
         assert server.stats["batches_accepted"] == 0
 
 
+def test_batch_with_mismatching_session_is_rejected():
+    """A batch stamped with a different session than the connection's
+    hello is a client bug — refused loudly (bad-session), never silently
+    sequenced under the hello'd session."""
+    service = _service()
+    with RushMonServer(service) as server:
+        raw = _RawClient(server.port)
+        raw.send(protocol.hello("sess-hello", 0))
+        assert raw.recv()["type"] == "welcome"
+        raw.send(protocol.batch("sess-other", 1,
+                                protocol.encode_events(_ops(4, 4, seed=9))))
+        reply = raw.recv()
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad-session"
+        assert not reply["retriable"]
+        raw.close()
+        assert server.stats["batches_accepted"] == 0
+        assert server.session_high("sess-hello") == 0
+        assert server.session_high("sess-other") == 0
+
+
+def test_idle_sessions_are_evicted_after_ttl():
+    """The session table must not grow one entry per client run forever:
+    an idle session whose high-water is durable and that no connection
+    references is expired after ``session_ttl``."""
+    service = _service()
+    with RushMonServer(service, session_ttl=0.2,
+                       ack_interval=0.02) as server:
+        raw = _RawClient(server.port)
+        raw.send(protocol.hello("sess-idle", 0))
+        assert raw.recv()["type"] == "welcome"
+        raw.send(protocol.batch("sess-idle", 1,
+                                protocol.encode_events(_ops(5, 4, seed=8))))
+        assert raw.recv()["type"] == "ack"
+        assert server.sessions_current == 1
+        raw.close()
+        deadline = time.monotonic() + 5.0
+        while server.sessions_current and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert server.sessions_current == 0
+        assert server.sessions_evicted_total == 1
+
+
+def test_live_sessions_survive_the_ttl():
+    """A session with an open connection is never evicted, no matter how
+    quiet it goes."""
+    service = _service()
+    with RushMonServer(service, session_ttl=0.1,
+                       ack_interval=0.02) as server:
+        raw = _RawClient(server.port)
+        raw.send(protocol.hello("sess-live", 0))
+        assert raw.recv()["type"] == "welcome"
+        time.sleep(0.4)  # several TTLs of silence, connection open
+        assert server.sessions_current == 1
+        assert server.sessions_evicted_total == 0
+        # The connection still works after the quiet spell.
+        raw.send(protocol.batch("sess-live", 1,
+                                protocol.encode_events(_ops(3, 4, seed=7))))
+        assert raw.recv()["type"] == "ack"
+        raw.close()
+
+
 def test_welcome_reports_high_water_for_resumed_session():
     service = _service()
     with RushMonServer(service) as server:
