@@ -1,0 +1,47 @@
+"""Exact offline isolation checkers — the independent oracle layer.
+
+``repro.checkers`` rebuilds a history's full dependency graph with no
+sampling, counts every 2-/3-cycle exactly, and classifies anomalies into
+the G-class taxonomy (G0, G1a, G1b, G1c, G-SI, G2).  It shares *no*
+collection or counting code with the real-time monitor, so differential
+disagreements implicate exactly one implementation.
+
+Entry points:
+
+- :func:`check_operations` / :func:`check_trace` — full
+  :class:`CheckReport` with per-class counts and minimal witnesses;
+- :func:`exact_cycle_counts` — just the 2-/3-cycle label-class counts,
+  for differentials against the monitor's estimator.
+"""
+
+from repro.checkers.checker import (
+    CheckReport,
+    CheckerEdge,
+    CycleWitness,
+    ReadWitness,
+    check_operations,
+    check_trace,
+    derive_dependency_edges,
+    exact_cycle_counts,
+)
+from repro.checkers.taxonomy import (
+    CYCLE_CLASSES,
+    GClass,
+    READ_CLASSES,
+    classify_cycle,
+)
+
+__all__ = [
+    "CYCLE_CLASSES",
+    "CheckReport",
+    "CheckerEdge",
+    "CycleWitness",
+    "GClass",
+    "READ_CLASSES",
+    "ReadWitness",
+    "check_operations",
+    "check_trace",
+    "classify_cycle",
+    "derive_dependency_edges",
+    "exact_cycle_counts",
+]

@@ -1,0 +1,89 @@
+"""The isolation-anomaly taxonomy the exact checker classifies into.
+
+RushMon's real-time detector reports *how many* short dependency cycles
+exist; it cannot say *what kind of violation* each cycle is.  This module
+provides the naming layer: the G-class hierarchy of Adya's portable
+isolation definitions ("Generalized Isolation Level Definitions", ICDE
+2000), as systematised by Li et al. ("A Systematic Definition and
+Classification of Data Anomalies") and implemented by offline checkers in
+the Elle family (Kingsbury & Alvaro, VLDB 2020).
+
+Two groups of phenomena:
+
+**Cycle-shaped** — classified from the multiset (and cyclic arrangement)
+of edge kinds around a dependency cycle:
+
+- **G0 (dirty write / write cycle)** — a cycle of ``ww`` edges only.
+  Proscribed at every ANSI level including read uncommitted.
+- **G1c (circular information flow)** — a cycle of ``ww``/``wr`` edges
+  with at least one ``wr``.  Proscribed at read committed and above.
+- **G-SI (write-skew family)** — a cycle containing two *cyclically
+  consecutive* ``rw`` anti-dependency edges.  Fekete et al. ("Making
+  Snapshot Isolation Serializable", TODS 2005) prove these are exactly
+  the cycles snapshot isolation admits; the classic two-item write skew
+  (``rw`` + ``rw``) is the minimal instance.
+- **G2 (anti-dependency cycle)** — a cycle with at least one ``rw`` edge
+  but *no* two consecutive ``rw`` edges.  Impossible under snapshot
+  isolation, so its presence certifies isolation below SI (lost update
+  — ``rw`` + ``ww`` on one item — is the canonical example).
+
+**Read-shaped** — detected directly from the history, no cycle needed:
+
+- **G1a (aborted read)** — a read observed a write by a transaction that
+  never committed.
+- **G1b (intermediate read)** — a read observed a write that was not the
+  writer's *final* write to that item (the writer overwrote it later).
+
+Every dependency cycle maps to exactly one of {G0, G1c, G-SI, G2}; the
+four are mutually exclusive and collectively exhaustive over cycles, so
+per-class counts sum to the total cycle count.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.core.types import EdgeType
+
+
+class GClass(enum.Enum):
+    """Anomaly classes reported by :mod:`repro.checkers`."""
+
+    G0 = "G0"          # dirty write: all-ww cycle
+    G1A = "G1a"        # aborted read
+    G1B = "G1b"        # intermediate read
+    G1C = "G1c"        # circular information flow: ww/wr cycle, >= 1 wr
+    G_SI = "G-SI"      # write-skew family: two consecutive rw edges
+    G2 = "G2"          # anti-dependency cycle not admissible under SI
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Classes that are shapes of dependency cycles (vs. read phenomena).
+CYCLE_CLASSES = (GClass.G0, GClass.G1C, GClass.G_SI, GClass.G2)
+
+#: Classes detected directly from reads, without any cycle.
+READ_CLASSES = (GClass.G1A, GClass.G1B)
+
+
+def classify_cycle(kinds: Sequence[EdgeType]) -> GClass:
+    """Classify one dependency cycle from its edge kinds in cyclic order.
+
+    ``kinds[i]`` is the kind of the i-th edge walking around the cycle;
+    the edge after the last is the first again (the arrangement matters:
+    G-SI needs two *adjacent* anti-dependencies).
+    """
+    if not kinds:
+        raise ValueError("a cycle has at least two edges")
+    rw_positions = [i for i, kind in enumerate(kinds) if kind is EdgeType.RW]
+    if not rw_positions:
+        if all(kind is EdgeType.WW for kind in kinds):
+            return GClass.G0
+        return GClass.G1C
+    n = len(kinds)
+    for i in rw_positions:
+        if kinds[(i + 1) % n] is EdgeType.RW:
+            return GClass.G_SI
+    return GClass.G2

@@ -256,21 +256,93 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Human-readable gloss per anomaly class, for ``check`` output.
+_GCLASS_GLOSS = {
+    "G0": "dirty write",
+    "G1a": "aborted read",
+    "G1b": "intermediate read",
+    "G1c": "circular information flow",
+    "G-SI": "write skew",
+    "G2": "anti-dependency cycle",
+}
+
+
 def cmd_check(args: argparse.Namespace) -> int:
-    """Offline serializability check of a recorded trace."""
-    from repro.core.serializability import check_history
+    """Exact offline isolation check of a recorded trace.
+
+    Rebuilds the full dependency graph (no sampling), reports the exact
+    2-/3-cycle counts the monitor estimates, and classifies every cycle
+    and bad read into the G-class taxonomy with concrete witnesses.
+    Exit 0 iff the history is anomaly-free.
+    """
+    from repro.checkers import CYCLE_CLASSES, GClass, check_trace
 
     trace = Trace.load(args.trace)
-    verdict = check_history(trace.ops, max_witnesses=args.witnesses)
-    if verdict.serializable:
+    report = check_trace(trace, max_cycle_length=args.max_cycle_len,
+                         max_witnesses=args.witnesses)
+    if args.json:
+        import json
+
+        payload = {
+            "operations": report.operations,
+            "buus": report.buus,
+            "aborted": list(report.aborted),
+            "edges": {"wr": report.edges.wr, "ww": report.edges.ww,
+                      "rw": report.edges.rw,
+                      "distinct": report.distinct_edges},
+            "cycles": {"two": report.cycles.two_cycles,
+                       "three": report.cycles.three_cycles,
+                       "ss": report.cycles.ss, "dd": report.cycles.dd,
+                       "sss": report.cycles.sss, "ssd": report.cycles.ssd,
+                       "ddd": report.cycles.ddd},
+            "serializable": report.serializable,
+            "anomaly_free": report.anomaly_free,
+            "max_cycle_length": report.max_cycle_length,
+            "counts": {g.value: n for g, n in sorted(
+                report.counts.items(), key=lambda kv: kv[0].value)},
+            "witnesses": {g.value: [w.pretty() for w in ws]
+                          for g, ws in report.witnesses.items()},
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if report.anomaly_free else 1
+
+    aborted = f"   aborted: {len(report.aborted)}" if report.aborted else ""
+    print(f"operations: {report.operations}   BUUs: {report.buus}{aborted}")
+    print(f"edges: wr={report.edges.wr} ww={report.edges.ww} "
+          f"rw={report.edges.rw} ({report.distinct_edges} distinct)")
+    print(f"exact cycles: {report.cycles.two_cycles} two-cycles "
+          f"(ss={report.cycles.ss} dd={report.cycles.dd}), "
+          f"{report.cycles.three_cycles} three-cycles "
+          f"(sss={report.cycles.sss} ssd={report.cycles.ssd} "
+          f"ddd={report.cycles.ddd})")
+    if report.serializable:
         print("serializable: yes")
-        head = ", ".join(str(b) for b in verdict.serial_order[:12])
-        more = "..." if len(verdict.serial_order) > 12 else ""
+        head = ", ".join(str(b) for b in report.serial_order[:12])
+        more = "..." if len(report.serial_order) > 12 else ""
         print(f"witness serial order: {head}{more}")
+    else:
+        print("serializable: NO")
+    if report.counts:
+        print(f"anomaly classes (cycles up to length "
+              f"{report.max_cycle_length}):")
+        for gclass in GClass:
+            count = report.counts.get(gclass, 0)
+            if not count:
+                continue
+            gloss = _GCLASS_GLOSS[gclass.value]
+            print(f"  {gclass.value} ({gloss}): {count}")
+            prefix = ("violating cycle: " if gclass in CYCLE_CLASSES
+                      else "")
+            for witness in report.witnesses.get(gclass, ()):
+                print(f"    {prefix}{witness.pretty()}")
+    if report.cycles_beyond_bound:
+        print(f"  violating cycle: every cycle is longer than "
+              f"--max-cycle-len {report.max_cycle_length} "
+              f"(raise it to witness one)")
+    if report.anomaly_free:
+        print("anomaly-free: yes")
         return 0
-    print("serializable: NO")
-    for cycle in verdict.violations:
-        print("  violating cycle: " + " -> ".join(str(b) for b in cycle))
+    print("anomaly-free: NO")
     return 1
 
 
@@ -301,6 +373,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         max_restarts=args.max_restarts,
         batch_size=args.batch_size,
         checkpoint_path=args.checkpoint,
+        record_trace=args.oracle,
     )
     exporter = None
     if args.export_port is not None:
@@ -387,6 +460,9 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         print(f"\nlast window: {report.operations} ops, "
               f"est {report.estimated_2:.1f} two-cycles, "
               f"{report.estimated_3:.1f} three-cycles")
+    oracle_rc = 0
+    if args.oracle:
+        oracle_rc = _run_monitor_oracle(args, service)
     if interrupted:
         return 0
     if exporter is not None and args.hold:
@@ -398,6 +474,40 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             pass
         finally:
             exporter.stop()
+    return oracle_rc
+
+
+def _run_monitor_oracle(args: argparse.Namespace, service) -> int:
+    """``monitor --oracle``: replay the recorded trace through the exact
+    checker and report divergence from the live monitor.
+
+    At ``sr=1 --no-mob`` the monitor is supposed to be *exact*, so any
+    mismatch in the 2-/3-cycle counts is a bug and the exit code says so
+    (1).  At ``sr>1`` (or with MOB) the estimate is only unbiased, so
+    the oracle reports relative error instead of failing.
+    """
+    from repro.checkers import check_trace
+
+    oracle = check_trace(service.serialized_trace())
+    classes = ", ".join(f"{g.value}={n}" for g, n in sorted(
+        oracle.counts.items(), key=lambda kv: kv[0].value)) or "none"
+    print(f"\noracle: exact {oracle.cycles.two_cycles} two-cycles, "
+          f"{oracle.cycles.three_cycles} three-cycles; classes: {classes}")
+    counts = service.counts()
+    e2, e3 = service.cumulative_estimates()
+    if args.sampling_rate == 1 and args.no_mob:
+        if counts != oracle.cycles:
+            print(f"ORACLE DIVERGENCE: monitor counted {counts} but the "
+                  f"exact checker found {oracle.cycles}", file=sys.stderr)
+            return 1
+        print("oracle: monitor counts match the exact checker bit-exactly")
+        return 0
+    exact2 = oracle.cycles.two_cycles
+    exact3 = oracle.cycles.three_cycles
+    err2 = abs(e2 - exact2) / exact2 if exact2 else abs(e2)
+    err3 = abs(e3 - exact3) / exact3 if exact3 else abs(e3)
+    print(f"oracle: estimate rel. error {100 * err2:.1f}% (2-cycles), "
+          f"{100 * err3:.1f}% (3-cycles) at sr={args.sampling_rate}")
     return 0
 
 
@@ -688,6 +798,10 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--checkpoint", default=None,
                      help="write a stop-time checkpoint here on graceful "
                           "shutdown (Ctrl-C / SIGTERM included)")
+    mon.add_argument("--oracle", action="store_true",
+                     help="record the ingested trace and replay it through "
+                          "the exact checker after the run; at sr=1 "
+                          "--no-mob any count divergence exits 1")
     mon.set_defaults(func=cmd_monitor)
 
     srv = sub.add_parser(
@@ -792,11 +906,18 @@ def build_parser() -> argparse.ArgumentParser:
     reg.set_defaults(func=cmd_bench_regress)
 
     chk = sub.add_parser(
-        "check", help="offline serializability check of a trace"
+        "check",
+        help="exact offline isolation check of a trace (G-class taxonomy)",
     )
     chk.add_argument("trace")
     chk.add_argument("--witnesses", type=int, default=3,
-                     help="max violating cycles to print")
+                     help="max witnesses to keep per anomaly class")
+    chk.add_argument("--max-cycle-len", type=int, default=4,
+                     help="classify cycles up to this many edges "
+                          "(2-/3-cycle counts and the serializable "
+                          "verdict are exact regardless)")
+    chk.add_argument("--json", action="store_true",
+                     help="emit the CheckReport as JSON")
     chk.set_defaults(func=cmd_check)
 
     return parser

@@ -1,0 +1,33 @@
+"""Shared pytest configuration: hypothesis settings profiles.
+
+Two profiles, selected with the ``HYPOTHESIS_PROFILE`` environment
+variable (default ``fast``):
+
+- ``fast`` — what CI tier-1 and the oracle job run: enough examples to
+  exercise the strategies, cheap enough to keep wall time flat;
+- ``thorough`` — the nightly setting: an order of magnitude more
+  examples for the differential and checker property suites.
+
+Tests that pin their own ``@settings(...)`` keep those values; the
+profile governs everything else.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))

@@ -1,0 +1,262 @@
+"""Unit and golden-corpus tests for the exact checker (``repro.checkers``).
+
+The golden traces under ``tests/golden/`` are hand-built minimal
+histories, one per G-class plus serializable controls; each file's full
+classification is asserted *exactly*, so any drift in edge derivation,
+cycle enumeration or taxonomy mapping fails loudly with the class name in
+the assertion.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.checkers import (
+    CYCLE_CLASSES,
+    GClass,
+    check_operations,
+    check_trace,
+    classify_cycle,
+    derive_dependency_edges,
+    exact_cycle_counts,
+)
+from repro.cli import main
+from repro.core.types import EdgeType, Operation, OpType
+from repro.sim.traces import Trace
+
+GOLDEN = Path(__file__).parent / "golden"
+
+R, W = OpType.READ, OpType.WRITE
+
+
+def history(*steps):
+    """Build a history from (op, buu, key) triples; seq is the position."""
+    return [Operation(op, buu, key, seq)
+            for seq, (op, buu, key) in enumerate(steps, start=1)]
+
+
+class TestClassifyCycle:
+    def test_all_ww_is_g0(self):
+        assert classify_cycle([EdgeType.WW, EdgeType.WW]) is GClass.G0
+
+    def test_ww_wr_mix_is_g1c(self):
+        assert classify_cycle([EdgeType.WW, EdgeType.WR]) is GClass.G1C
+        assert classify_cycle([EdgeType.WR, EdgeType.WR]) is GClass.G1C
+
+    def test_two_adjacent_rw_is_gsi(self):
+        assert classify_cycle([EdgeType.RW, EdgeType.RW]) is GClass.G_SI
+        assert classify_cycle(
+            [EdgeType.WR, EdgeType.RW, EdgeType.RW]) is GClass.G_SI
+
+    def test_wraparound_adjacency_counts(self):
+        """The last and first edges are cyclically adjacent."""
+        assert classify_cycle(
+            [EdgeType.RW, EdgeType.WW, EdgeType.RW]) is GClass.G_SI
+
+    def test_isolated_rw_is_g2(self):
+        assert classify_cycle([EdgeType.RW, EdgeType.WW]) is GClass.G2
+        assert classify_cycle(
+            [EdgeType.RW, EdgeType.WR, EdgeType.RW, EdgeType.WW]
+        ) is GClass.G2
+        assert classify_cycle(
+            [EdgeType.RW, EdgeType.WR, EdgeType.RW, EdgeType.WR]
+        ) is GClass.G2
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            classify_cycle([])
+
+    @given(kinds=st.lists(st.sampled_from(list(EdgeType)),
+                          min_size=2, max_size=6),
+           shift=st.integers(0, 5))
+    def test_rotation_invariant(self, kinds, shift):
+        """A cycle has no distinguished starting edge: classification
+        must not depend on where the walk begins."""
+        rotated = kinds[shift % len(kinds):] + kinds[:shift % len(kinds)]
+        assert classify_cycle(kinds) is classify_cycle(rotated)
+
+    @given(kinds=st.lists(st.sampled_from(list(EdgeType)),
+                          min_size=2, max_size=6))
+    def test_total_and_exclusive(self, kinds):
+        """Every kind sequence maps to exactly one cycle class."""
+        assert classify_cycle(kinds) in CYCLE_CLASSES
+
+
+class TestEdgeDerivation:
+    def test_wr_ww_rw_basics(self):
+        ops = history((W, 1, "x"), (R, 2, "x"), (W, 3, "x"), (W, 4, "x"))
+        edges, stats, _ = derive_dependency_edges(ops)
+        kinds = {(e.src, e.dst, e.kind) for e in edges}
+        assert kinds == {(1, 2, EdgeType.WR),   # read observes write
+                         (2, 3, EdgeType.RW),   # write overwrites read
+                         (3, 4, EdgeType.WW)}   # direct overwrite
+        assert (stats.wr, stats.ww, stats.rw) == (1, 1, 1)
+
+    def test_self_edges_skipped(self):
+        ops = history((W, 1, "x"), (R, 1, "x"), (W, 1, "x"))
+        edges, stats, _ = derive_dependency_edges(ops)
+        assert edges == []
+        assert stats.total == 0
+
+    def test_matches_offline_monitor_on_random_histories(self):
+        """The independent per-key derivation reproduces Algorithm 1's
+        aggregate edge stats on seeded random histories."""
+        from repro.core.monitor import OfflineAnomalyMonitor
+        from tests.histgen import random_history
+
+        for seed in range(10):
+            hist = random_history(seed)
+            offline = OfflineAnomalyMonitor()
+            offline.on_operations(hist)
+            _, stats, _ = derive_dependency_edges(hist)
+            assert stats == offline.collector.stats
+
+
+class TestGoldenCorpus:
+    """Each golden trace's classification, asserted exactly."""
+
+    def check(self, name):
+        return check_trace(Trace.load(GOLDEN / name))
+
+    def test_g0_dirty_write(self):
+        report = self.check("g0_dirty_write.jsonl")
+        assert report.counts == {GClass.G0: 1}
+        assert report.cycles.two_cycles == 1 and report.cycles.dd == 1
+        assert not report.serializable
+
+    def test_g1a_aborted_read(self):
+        report = self.check("g1a_aborted_read.jsonl")
+        assert report.counts == {GClass.G1A: 1}
+        assert report.aborted == (1,)   # inferred: ops but no commit
+        assert report.serializable      # graph itself is acyclic...
+        assert not report.anomaly_free  # ...but the read is dirty
+
+    def test_g1b_intermediate_read(self):
+        report = self.check("g1b_intermediate_read.jsonl")
+        # The re-write also closes a wr/rw cycle on x (unrepeatable
+        # read), so G2 rides along with the intermediate read.
+        assert report.counts == {GClass.G1B: 1, GClass.G2: 1}
+        assert not report.serializable
+
+    def test_g1c_circular_information_flow(self):
+        report = self.check("g1c_circular_flow.jsonl")
+        assert report.counts == {GClass.G1C: 1}
+        assert report.cycles.dd == 1
+
+    def test_gsi_write_skew(self):
+        report = self.check("gsi_write_skew.jsonl")
+        assert report.counts == {GClass.G_SI: 1}
+        witness = report.witnesses[GClass.G_SI][0]
+        assert all(e.kind is EdgeType.RW for e in witness.edges)
+
+    def test_g2_lost_update(self):
+        report = self.check("g2_lost_update.jsonl")
+        assert report.counts == {GClass.G2: 1}
+        assert report.cycles.ss == 1  # both edges on the same item
+
+    @pytest.mark.parametrize("name", ["serializable_serial.jsonl",
+                                      "serializable_concurrent.jsonl"])
+    def test_serializable_controls_are_clean(self, name):
+        report = self.check(name)
+        assert report.counts == {}
+        assert report.serializable
+        assert report.anomaly_free
+        assert report.cycles.two_cycles == 0
+        assert report.cycles.three_cycles == 0
+
+    def test_every_gclass_covered(self):
+        """The corpus collectively exercises the whole taxonomy."""
+        detected = set()
+        for path in sorted(GOLDEN.glob("*.jsonl")):
+            detected.update(check_trace(Trace.load(path)).detected_classes())
+        assert detected == set(GClass)
+
+    @pytest.mark.parametrize("name,expect_rc", [
+        ("g0_dirty_write.jsonl", 1),
+        ("g1a_aborted_read.jsonl", 1),
+        ("g1b_intermediate_read.jsonl", 1),
+        ("g1c_circular_flow.jsonl", 1),
+        ("gsi_write_skew.jsonl", 1),
+        ("g2_lost_update.jsonl", 1),
+        ("serializable_serial.jsonl", 0),
+        ("serializable_concurrent.jsonl", 0),
+    ])
+    def test_cli_check_verdicts(self, name, expect_rc, capsys):
+        """`repro check` classifies the corpus correctly end to end."""
+        assert main(["check", str(GOLDEN / name)]) == expect_rc
+        out = capsys.readouterr().out
+        if expect_rc:
+            expected_class = {
+                "g0_dirty_write.jsonl": "G0",
+                "g1a_aborted_read.jsonl": "G1a",
+                "g1b_intermediate_read.jsonl": "G1b",
+                "g1c_circular_flow.jsonl": "G1c",
+                "gsi_write_skew.jsonl": "G-SI",
+                "g2_lost_update.jsonl": "G2",
+            }[name]
+            assert f"{expected_class} (" in out
+            assert "anomaly-free: NO" in out
+        else:
+            assert "anomaly-free: yes" in out
+
+
+class TestCheckOperations:
+    def test_explicit_aborted_overrides_commit_inference(self):
+        ops = history((W, 1, "x"), (R, 2, "x"))
+        report = check_operations(ops, commits=[1, 2], aborted=[1])
+        assert report.counts == {GClass.G1A: 1}
+
+    def test_no_lifecycle_means_all_committed(self):
+        ops = history((W, 1, "x"), (R, 2, "x"))
+        report = check_operations(ops)
+        assert report.counts == {}
+        assert report.anomaly_free
+
+    def test_g1b_needs_a_later_write(self):
+        # The read observes the writer's *final* version: not G1b.
+        ops = history((W, 1, "x"), (W, 1, "x"), (R, 2, "x"))
+        assert GClass.G1B not in check_operations(ops).counts
+
+    def test_long_cycle_beyond_bound_flagged(self):
+        # A pure 5-cycle of ww edges: each key written by two BUUs.
+        chain = []
+        buus = [1, 2, 3, 4, 5]
+        keys = ["a", "b", "c", "d", "e"]
+        for i, key in enumerate(keys):
+            chain.append((W, buus[i], key))
+            chain.append((W, buus[(i + 1) % 5], key))
+        report = check_operations(history(*chain), max_cycle_length=4)
+        assert not report.serializable
+        assert report.cycles_beyond_bound
+        assert report.counts == {}
+        # Raising the bound names it.
+        report5 = check_operations(history(*chain), max_cycle_length=5)
+        assert report5.counts == {GClass.G0: 1}
+        assert not report5.cycles_beyond_bound
+
+    def test_witness_cap_respected(self):
+        ops = []
+        step = 0
+        # Many independent 2-item write skews -> many G-SI witnesses.
+        for pair in range(6):
+            a, b = 10 * pair, 10 * pair + 1
+            x, y = f"x{pair}", f"y{pair}"
+            ops += [(R, a, x), (R, b, y), (W, a, y), (W, b, x)]
+        report = check_operations(history(*ops), max_witnesses=2)
+        assert report.counts[GClass.G_SI] == 6
+        assert len(report.witnesses[GClass.G_SI]) == 2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            check_operations([], max_cycle_length=1)
+        with pytest.raises(ValueError):
+            check_operations([], max_witnesses=-1)
+
+    def test_exact_counts_equal_full_report_counts(self):
+        from tests.histgen import random_history
+
+        hist = random_history(3)
+        assert exact_cycle_counts(hist) == check_operations(hist).cycles

@@ -141,6 +141,75 @@ class TestCheckCommand:
         assert "serializable: NO" in out
         assert "violating cycle" in out
 
+    def test_check_classifies_and_counts_exactly(self, tmp_path, capsys):
+        """The check verb reports the exact cycle counts the monitor
+        estimates, plus G-class lines with labelled witnesses."""
+        trace_path = str(tmp_path / "chaos.jsonl")
+        main(["record", "--out", trace_path, "--buus", "200",
+              "--workers", "8", "--latency", "200"])
+        capsys.readouterr()
+        assert main(["check", trace_path]) == 1
+        out = capsys.readouterr().out
+        assert "exact cycles:" in out
+        assert "anomaly classes" in out
+        assert "anomaly-free: NO" in out
+        # Witnesses carry edge kinds and item labels.
+        assert "-rw[" in out or "-ww[" in out or "-wr[" in out
+
+    def test_check_json_output(self, tmp_path, capsys):
+        import json
+
+        trace_path = str(tmp_path / "chaos.jsonl")
+        main(["record", "--out", trace_path, "--buus", "200",
+              "--workers", "8", "--latency", "200"])
+        capsys.readouterr()
+        rc = main(["check", trace_path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == (0 if payload["anomaly_free"] else 1)
+        assert payload["operations"] == 1200
+        assert set(payload["cycles"]) == {"two", "three", "ss", "dd",
+                                          "sss", "ssd", "ddd"}
+        assert sum(payload["counts"].values()) > 0
+        for witnesses in payload["witnesses"].values():
+            assert witnesses  # every reported class has a witness
+
+    def test_check_json_matches_analyze_exact(self, tmp_path, capsys):
+        """`check --json` cycle totals equal `analyze`'s offline exact
+        line — the two exact paths agree on the same trace."""
+        import json
+
+        trace_path = str(tmp_path / "run.jsonl")
+        main(["record", "--out", trace_path, "--buus", "200",
+              "--workers", "8", "--latency", "200"])
+        capsys.readouterr()
+        main(["check", trace_path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        main(["analyze", trace_path, "--no-mob"])
+        out = capsys.readouterr().out
+        exact_line = next(l for l in out.splitlines()
+                          if l.startswith("exact"))
+        assert payload["cycles"]["two"] == int(exact_line.split()[1])
+
+
+class TestMonitorOracle:
+    def test_monitor_oracle_sr1_matches(self, capsys):
+        """--oracle at sr=1 --no-mob replays the recorded trace through
+        the exact checker and must match bit-exactly (exit 0)."""
+        assert main(["monitor", "--oracle", "--sampling-rate", "1",
+                     "--no-mob", "--buus", "200", "--keys", "16",
+                     "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle: exact" in out
+        assert "match the exact checker bit-exactly" in out
+
+    def test_monitor_oracle_sampled_reports_error(self, capsys):
+        """At sr>1 the oracle reports relative error instead of failing."""
+        assert main(["monitor", "--oracle", "--sampling-rate", "4",
+                     "--buus", "200", "--keys", "16",
+                     "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rel. error" in out
+
 
 class TestMonitorGracefulShutdown:
     def test_sigterm_drains_and_writes_stop_time_checkpoint(self, tmp_path):

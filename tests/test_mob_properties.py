@@ -1,63 +1,56 @@
-"""Property tests for memory-optimized bookkeeping (Algorithm 2)."""
+"""Property tests for memory-optimized bookkeeping (Algorithm 2).
+
+Histories come from the shared strategies in :mod:`tests.strategies`, so
+a failing property shrinks to a minimal operation stream instead of an
+opaque seed; example counts follow the profile registered in
+:mod:`tests.conftest` (``HYPOTHESIS_PROFILE=fast|thorough``).
+"""
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.collector import BaselineCollector, DataCentricCollector
 from repro.core.detector import CycleDetector
 from repro.core.types import Operation, OpType
 
-
-def random_history(seed, n_ops, n_buus, n_keys):
-    rng = random.Random(seed)
-    ops = []
-    for seq in range(1, n_ops + 1):
-        kind = OpType.READ if rng.random() < 0.5 else OpType.WRITE
-        ops.append(Operation(kind, rng.randrange(n_buus),
-                             rng.randrange(n_keys), seq))
-    return ops
+from tests.strategies import op_streams
 
 
-@given(st.integers(0, 10**6))
-@settings(max_examples=25, deadline=None)
-def test_huge_slot_array_equals_full_bookkeeping(seed):
+def _edge_set(edges):
+    return {(e.src, e.dst, e.kind, e.label) for e in edges}
+
+
+@given(history=op_streams(max_ops=200, max_buus=15, max_keys=5),
+       seed=st.integers(0, 10**6))
+def test_huge_slot_array_equals_full_bookkeeping(history, seed):
     """With enough slots to hold every reader, MOB degenerates to the
     full readIDs set (modulo edge multiplicity, which dedup hides), and
     the ww-discard calibration never fires."""
-    history = random_history(seed, n_ops=200, n_buus=15, n_keys=5)
     full = DataCentricCollector(sampling_rate=1, mob=False, seed=seed)
     mob = DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
                                mob_slots=1000)
-    full_edges = {(e.src, e.dst, e.kind, e.label)
-                  for e in full.handle_all(history)}
-    mob_edges = {(e.src, e.dst, e.kind, e.label)
-                 for e in mob.handle_all(history)}
-    assert mob_edges == full_edges
+    assert _edge_set(mob.handle_all(history)) == \
+        _edge_set(full.handle_all(history))
     assert mob.discarded_reads == 0
 
 
-@given(st.integers(0, 10**6), st.integers(1, 4))
-@settings(max_examples=25, deadline=None)
-def test_mob_edges_are_subset_of_full(seed, slots):
+@given(history=op_streams(max_ops=250, max_buus=15, max_keys=6),
+       seed=st.integers(0, 10**6), slots=st.integers(1, 4))
+def test_mob_edges_are_subset_of_full(history, seed, slots):
     """MOB only ever drops information, never invents edges."""
-    history = random_history(seed, n_ops=250, n_buus=15, n_keys=6)
     full = DataCentricCollector(sampling_rate=1, mob=False, seed=seed)
     mob = DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
                                mob_slots=slots)
-    full_edges = {(e.src, e.dst, e.kind, e.label)
-                  for e in full.handle_all(history)}
-    mob_edges = {(e.src, e.dst, e.kind, e.label)
-                 for e in mob.handle_all(history)}
-    assert mob_edges <= full_edges
+    assert _edge_set(mob.handle_all(history)) <= \
+        _edge_set(full.handle_all(history))
 
 
-@given(st.integers(0, 10**6))
-@settings(max_examples=20, deadline=None)
-def test_mob_cycle_counts_bounded_by_full(seed):
+@given(history=op_streams(max_ops=250, max_buus=12, max_keys=5),
+       seed=st.integers(0, 10**6))
+def test_mob_cycle_counts_bounded_by_full(history, seed):
     """Fewer edges can only mean fewer or equal detected cycles."""
-    history = random_history(seed, n_ops=250, n_buus=12, n_keys=5)
     full_det = CycleDetector()
     full_det.add_edges(
         DataCentricCollector(sampling_rate=1, mob=False,
@@ -72,8 +65,7 @@ def test_mob_cycle_counts_bounded_by_full(seed):
     assert mob_det.counts.three_cycles <= full_det.counts.three_cycles
 
 
-@given(st.integers(0, 10**6))
-@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
 def test_rwrw_interleave_lossless_for_any_seed(seed):
     """The §5.2 design point: strict r/w interleavings per item lose
     nothing even with a single slot."""
@@ -89,8 +81,4 @@ def test_rwrw_interleave_lossless_for_any_seed(seed):
     full = BaselineCollector()
     mob = DataCentricCollector(sampling_rate=1, mob=True, seed=seed,
                                mob_slots=1)
-    full_edges = {(e.src, e.dst, e.kind, e.label)
-                  for e in full.handle_all(ops)}
-    mob_edges = {(e.src, e.dst, e.kind, e.label)
-                 for e in mob.handle_all(ops)}
-    assert mob_edges == full_edges
+    assert _edge_set(mob.handle_all(ops)) == _edge_set(full.handle_all(ops))
