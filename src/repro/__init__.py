@@ -1,6 +1,55 @@
 """RushMon reproduction: real-time isolation anomalies monitoring.
 
-Public API re-exports live here; see README.md for a tour.
+The blessed public surface is re-exported here (and enumerated in
+``__all__`` — ``tests/test_public_api.py`` asserts every name resolves
+and that the protocol verbs stay in sync with DESIGN.md's API table).
+Everything else is importable but considered internal layout that may
+move between releases.
+
+The monitor family, all conforming to
+:class:`~repro.core.api.AnomalyMonitor`:
+
+- :class:`RushMon` — the serial in-process monitor (§5);
+- :class:`RushMonService` — thread-safe sharded ingestion with a
+  background detection pass;
+- :class:`ClusterMonitor` — N worker *processes* behind one facade
+  (:mod:`repro.cluster`);
+- :class:`OfflineAnomalyMonitor` — the exact §4 baseline.
+
+All are constructed from one :class:`RushMonConfig`.
 """
 
+from repro.cluster import ClusterMonitor
+from repro.core.api import AnomalyMonitor, MonitorListener
+from repro.core.concurrent import RushMonService
+from repro.core.config import RushMonConfig
+from repro.core.monitor import OfflineAnomalyMonitor, RushMon
+from repro.core.types import (
+    AnomalyReport,
+    CycleCounts,
+    Edge,
+    EdgeStats,
+    EdgeType,
+    Operation,
+    OpType,
+)
+
 __version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyMonitor",
+    "AnomalyReport",
+    "ClusterMonitor",
+    "CycleCounts",
+    "Edge",
+    "EdgeStats",
+    "EdgeType",
+    "MonitorListener",
+    "OfflineAnomalyMonitor",
+    "OpType",
+    "Operation",
+    "RushMon",
+    "RushMonConfig",
+    "RushMonService",
+    "__version__",
+]

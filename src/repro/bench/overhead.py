@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import random
 import time
+from dataclasses import replace
 from typing import Sequence
 
 from repro.bench.reporting import emit, format_table
@@ -100,9 +101,10 @@ def run_overhead(
         })
 
         def timed_service() -> float:
-            service = RushMonService(config, num_shards=num_shards,
-                                     detect_interval=0.01,
-                                     batch_size=batch_size)
+            service = RushMonService(replace(config,
+                                             num_shards=num_shards,
+                                             detect_interval=0.01,
+                                             batch_size=batch_size))
             start = time.perf_counter()
             with service:
                 driver = ThreadedWorkloadDriver([service],

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 import time
+from dataclasses import replace
 from typing import Sequence
 
 from repro.bench.reporting import emit, format_table
@@ -66,9 +67,9 @@ def run_thread_scaling(
     })
 
     for threads in thread_counts:
-        service = RushMonService(config, num_shards=num_shards,
-                                 detect_interval=0.01,
-                                 batch_size=batch_size)
+        service = RushMonService(replace(config, num_shards=num_shards,
+                                         detect_interval=0.01,
+                                         batch_size=batch_size))
         driver = ThreadedWorkloadDriver([service], num_threads=threads,
                                         seed=seed)
         workload = _workload(buus, keys, touch, seed)

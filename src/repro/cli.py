@@ -50,12 +50,7 @@ def _add_monitor_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _monitor_from(args: argparse.Namespace) -> RushMon:
-    return RushMon(RushMonConfig(
-        sampling_rate=args.sampling_rate,
-        mob=not args.no_mob,
-        pruning=args.pruning,
-        seed=args.seed,
-    ))
+    return RushMon(RushMonConfig.from_cli_args(args))
 
 
 def _add_service_args(parser: argparse.ArgumentParser) -> None:
@@ -132,12 +127,7 @@ def _service_quickstart(args: argparse.Namespace) -> int:
     from repro.core.concurrent import RushMonService
     from repro.sim.scheduler import ThreadedWorkloadDriver
 
-    service = RushMonService(
-        RushMonConfig(sampling_rate=args.sampling_rate, mob=not args.no_mob,
-                      pruning=args.pruning, seed=args.seed),
-        num_shards=args.shards,
-        detect_interval=args.detect_interval,
-    )
+    service = RushMonService(RushMonConfig.from_cli_args(args))
     # Yield points widen the interleaving space the GIL would otherwise
     # make coarse — without them the toy workload is nearly anomaly-free.
     driver = ThreadedWorkloadDriver([service], num_threads=args.threads,
@@ -363,18 +353,11 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     from repro.obs import MetricsExporter
     from repro.sim.scheduler import ThreadedWorkloadDriver
 
-    service = RushMonService(
-        RushMonConfig(sampling_rate=args.sampling_rate, mob=not args.no_mob,
-                      pruning=args.pruning, seed=args.seed),
-        num_shards=args.shards,
-        detect_interval=args.detect_interval,
-        journal_capacity=args.journal_capacity,
-        overflow=args.overflow,
-        max_restarts=args.max_restarts,
-        batch_size=args.batch_size,
-        checkpoint_path=args.checkpoint,
-        record_trace=args.oracle,
-    )
+    if getattr(args, "workers", 0):
+        return _run_cluster_monitor(args)
+
+    service = RushMonService(RushMonConfig.from_cli_args(args),
+                             record_trace=args.oracle)
     exporter = None
     if args.export_port is not None:
         exporter = MetricsExporter(service.metrics, port=args.export_port)
@@ -477,6 +460,59 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return oracle_rc
 
 
+def _run_cluster_monitor(args: argparse.Namespace) -> int:
+    """``monitor --workers N``: the same workload against a multi-process
+    :class:`~repro.cluster.ClusterMonitor` instead of the in-process
+    service.
+
+    The cluster facade owns no metrics registry, journal or checkpoint —
+    those live inside the worker processes — so service-only flags are
+    ignored with a warning rather than silently changing meaning.
+    """
+    import time as _time
+
+    from repro.cluster import ClusterMonitor
+    from repro.sim.scheduler import ThreadedWorkloadDriver
+
+    ignored = [flag for flag, given in (
+        ("--live", args.live),
+        ("--export-port", args.export_port is not None),
+        ("--checkpoint", args.checkpoint is not None),
+        ("--oracle", args.oracle),
+        ("--journal-capacity", args.journal_capacity is not None),
+    ) if given]
+    if ignored:
+        print(f"cluster mode ignores {', '.join(ignored)} (service-only "
+              f"features)", file=sys.stderr)
+
+    cluster = ClusterMonitor(RushMonConfig.from_cli_args(args))
+    previous_sigterm = _install_sigterm_as_interrupt()
+    interrupted = False
+    t0 = _time.perf_counter()
+    try:
+        driver = ThreadedWorkloadDriver([cluster], num_threads=args.threads,
+                                        seed=args.seed, yield_every=5)
+        workload = list(
+            _counter_buus(args.buus, args.keys, args.touch, args.seed)
+        )
+        driver.run(workload)
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\ninterrupted — closing the final cluster window")
+    finally:
+        _restore_sigterm(previous_sigterm)
+        try:
+            report = cluster.close_window()
+        finally:
+            cluster.stop()
+    dt = _time.perf_counter() - t0
+    print(f"cluster: {args.workers} workers, {report.operations} ops in "
+          f"the final window ({dt:.2f}s wall)")
+    print(f"last window: est {report.estimated_2:.1f} two-cycles, "
+          f"{report.estimated_3:.1f} three-cycles")
+    return 0
+
+
 def _run_monitor_oracle(args: argparse.Namespace, service) -> int:
     """``monitor --oracle``: replay the recorded trace through the exact
     checker and report divergence from the live monitor.
@@ -536,18 +572,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"(events={service.processed_events}, "
               f"reports={len(service.reports)})", flush=True)
     else:
-        service = RushMonService(
-            RushMonConfig(sampling_rate=args.sampling_rate,
-                          mob=not args.no_mob, pruning=args.pruning,
-                          seed=args.seed),
-            num_shards=args.shards,
-            detect_interval=args.detect_interval,
-            journal_capacity=args.journal_capacity,
-            overflow=args.overflow,
-            max_restarts=args.max_restarts,
-            batch_size=args.batch_size,
-            record_trace=not args.no_trace,
-        )
+        # from_cli_args picks up --checkpoint as the config's
+        # checkpoint_path; with no checkpoint_interval the service never
+        # checkpoints on its own — the server owns the group-commit
+        # checkpoint schedule (--checkpoint-every).
+        service = RushMonService(RushMonConfig.from_cli_args(args),
+                                 record_trace=not args.no_trace)
     server = RushMonServer(
         service,
         host=args.host,
@@ -687,6 +717,26 @@ def cmd_bench_regress(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_bench_cluster(args: argparse.Namespace) -> int:
+    """One end-to-end cluster throughput run: the BENCH cluster row's
+    protocol at a configurable scale (CI runs it small as a smoke)."""
+    from repro.bench.regress import bench_cluster
+
+    rate, p50, p99 = bench_cluster(
+        num_threads=args.threads,
+        ops_per_thread=args.ops,
+        num_keys=args.keys,
+        sr=args.sampling_rate,
+        workers=args.workers,
+        seed=args.seed,
+        cluster_batch=args.cluster_batch,
+    )
+    print(f"cluster ({args.workers} workers, {args.threads} feed threads, "
+          f"{args.threads * args.ops} ops): {rate:,.0f} ops/s")
+    print(f"close latency: p50 {p50 * 1e3:.1f}ms  p99 {p99 * 1e3:.1f}ms")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -802,6 +852,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record the ingested trace and replay it through "
                           "the exact checker after the run; at sr=1 "
                           "--no-mob any count divergence exits 1")
+    mon.add_argument("--workers", type=int, default=0,
+                     help="drive a multi-process ClusterMonitor with this "
+                          "many worker processes instead of the in-process "
+                          "service (0 = in-process; service-only flags are "
+                          "ignored in cluster mode)")
     mon.set_defaults(func=cmd_monitor)
 
     srv = sub.add_parser(
@@ -904,6 +959,24 @@ def build_parser() -> argparse.ArgumentParser:
     reg.add_argument("--out", default="BENCH_ingest.json",
                      help="results file (committed at the repo root)")
     reg.set_defaults(func=cmd_bench_regress)
+
+    bclu = sub.add_parser(
+        "bench-cluster",
+        help="end-to-end multi-process cluster ingest throughput",
+    )
+    bclu.add_argument("--workers", type=int, default=4,
+                      help="cluster worker processes")
+    bclu.add_argument("--threads", type=int, default=8,
+                      help="feed threads in the parent")
+    bclu.add_argument("--ops", type=int, default=40000,
+                      help="operations per feed thread")
+    bclu.add_argument("--keys", type=int, default=4096)
+    bclu.add_argument("--sampling-rate", type=int, default=4)
+    bclu.add_argument("--cluster-batch", type=int, default=1024,
+                      help="events buffered per worker before a route "
+                           "frame is flushed")
+    bclu.add_argument("--seed", type=int, default=0)
+    bclu.set_defaults(func=cmd_bench_cluster)
 
     chk = sub.add_parser(
         "check",

@@ -1,0 +1,224 @@
+"""Wire messages for the multi-process monitor cluster.
+
+Everything travels in :mod:`repro.net.protocol` frames (length prefix,
+codec byte, CRC-32), so the cluster inherits the net layer's corruption
+detection and incremental :class:`~repro.net.protocol.FrameReader`
+decoding for free.  What this module adds is the cluster's message
+vocabulary on three links:
+
+Router → worker (control)
+    ``peers`` (the exchange-port map), ``route`` (a batch of events at a
+    session sequence number — the same ``seq == high+1`` /
+    cumulative-ack discipline as net batches, so delivery to a worker is
+    effectively once), ``flush`` (a barrier: drain up to ticket ``high``
+    and reply), ``reset`` (rebuild the engine with a new config;
+    test/bench hook) and ``bye``.
+
+Worker → router (control)
+    ``worker-hello`` (index + exchange port), ``ready``, ``ack``
+    (cumulative per the session), ``report`` / ``synced`` / ``reset-ok``
+    (barrier replies) and ``err``.
+
+Worker ↔ worker (exchange)
+    ``peer-hello`` and ``edges`` — a versioned
+    :mod:`~repro.core.frontier` payload of the edge groups one shard
+    derived, plus that worker's ticket watermark ``mark``.  An ``edges``
+    message with no groups is a pure watermark advance.
+
+Events
+------
+
+Route events extend the net layer's wire records with the global ticket
+the router stamped:
+
+- operation: ``["r"|"w", buu, key, seq, ticket]``
+- lifecycle: ``["b"|"c", buu, time, ticket]``
+
+Tickets totally order the cluster-wide event stream; each worker merges
+its local events with its peers' edge groups back into that order (see
+:mod:`repro.cluster.worker`), which is what makes the cluster bit-exact
+against the serial monitor.
+"""
+
+from __future__ import annotations
+
+from repro.core.frontier import encode_frontier
+from repro.core.types import AnomalyReport, CycleCounts, Operation, OpType
+from repro.net.protocol import (  # noqa: F401  (re-exported for workers)
+    CODEC_JSON,
+    FrameReader,
+    ProtocolError,
+    bye,
+    encode_frame,
+)
+
+__all__ = [
+    "bye",
+    "cluster_ack",
+    "decode_route_events",
+    "edges",
+    "err",
+    "flush",
+    "peer_hello",
+    "peers",
+    "ready",
+    "report_reply",
+    "reset",
+    "reset_ok",
+    "route",
+    "synced",
+    "wire_begin",
+    "wire_commit",
+    "wire_op",
+    "worker_hello",
+]
+
+
+# -- handshake -----------------------------------------------------------------
+
+
+def worker_hello(index: int, port: int) -> dict:
+    """A worker announcing itself and its exchange listener port."""
+    return {"type": "worker-hello", "index": index, "port": port}
+
+
+def peers(ports: list[int]) -> dict:
+    """The router's exchange-port map, ``ports[i]`` = worker *i*."""
+    return {"type": "peers", "ports": ports}
+
+
+def ready(index: int) -> dict:
+    """A worker reporting its peer mesh is fully connected."""
+    return {"type": "ready", "index": index}
+
+
+def peer_hello(index: int) -> dict:
+    """The first message on a worker↔worker exchange connection."""
+    return {"type": "peer-hello", "index": index}
+
+
+# -- routing -------------------------------------------------------------------
+
+
+def route(seq: int, high: int, events: list) -> dict:
+    """One routed batch at session sequence ``seq``; ``high`` is the
+    router's ticket watermark as of this batch (every cluster-wide
+    ticket ``<= high`` has been routed somewhere)."""
+    return {"type": "route", "seq": seq, "high": high, "events": events}
+
+
+def cluster_ack(seq: int) -> dict:
+    """Cumulative acknowledgement of every route batch ``<= seq``."""
+    return {"type": "ack", "seq": seq}
+
+
+def wire_op(op: Operation, ticket: int) -> list:
+    """An operation event record carrying its global ticket."""
+    return [op.op.value, op.buu, op.key, op.seq, ticket]
+
+
+def wire_begin(buu, time: int, ticket: int) -> list:
+    """A BUU-begin event record carrying its global ticket."""
+    return ["b", buu, time, ticket]
+
+
+def wire_commit(buu, time: int, ticket: int) -> list:
+    """A BUU-commit event record carrying its global ticket."""
+    return ["c", buu, time, ticket]
+
+
+#: Wire tag -> enum member (dict lookup beats the enum value-call in
+#: the per-record decode loop).
+_OP_TYPES = {member.value: member for member in OpType}
+
+
+def decode_route_events(records: list) -> list[tuple]:
+    """Decode route event records into ``("op", ticket, Operation)`` /
+    ``("b"|"c", ticket, buu, time)`` tuples, validating as it goes."""
+    out: list[tuple] = []
+    op_types = _OP_TYPES
+    for record in records:
+        try:
+            kind = record[0]
+            op_type = op_types.get(kind)
+            if op_type is not None:
+                out.append(("op", record[4], Operation(
+                    op_type, record[1], record[2], record[3])))
+            elif kind in ("b", "c"):
+                out.append((kind, record[3], record[1], record[2]))
+            else:
+                raise ProtocolError(f"unknown event kind {kind!r}")
+        except ProtocolError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(f"malformed event record {record!r}") from exc
+    return out
+
+
+# -- barriers ------------------------------------------------------------------
+
+
+def flush(high: int, window: bool, now: int = 0) -> dict:
+    """A barrier: the worker drains every event with ticket ``<= high``
+    (its own and its peers'), then replies — with a ``report`` (closing
+    its window at logical time ``now``) when ``window`` is true, with
+    ``synced`` otherwise."""
+    return {"type": "flush", "high": high, "window": window, "now": now}
+
+
+def report_reply(report: AnomalyReport, counts: CycleCounts) -> dict:
+    """A worker's share of a closed window, in raw components the router
+    can sum (estimator linearity, Theorem 5.2), plus its cumulative
+    detector counts."""
+    return {
+        "type": "report",
+        "raw": {"ss": report.raw.ss, "dd": report.raw.dd,
+                "sss": report.raw.sss, "ssd": report.raw.ssd,
+                "ddd": report.raw.ddd},
+        "edges": report.edges.as_dict(),
+        "ops": report.operations,
+        "patterns": report.patterns,
+        "counts": _counts_dict(counts),
+    }
+
+
+def synced(counts: CycleCounts) -> dict:
+    """A barrier reply that leaves the window open: just the worker's
+    cumulative detector counts."""
+    return {"type": "synced", "counts": _counts_dict(counts)}
+
+
+def _counts_dict(counts: CycleCounts) -> dict:
+    return {"ss": counts.ss, "dd": counts.dd, "sss": counts.sss,
+            "ssd": counts.ssd, "ddd": counts.ddd}
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def reset(config: dict) -> dict:
+    """Rebuild the worker's engine from a fresh config (the differential
+    and bench harnesses reuse one spawned cluster across runs; tickets
+    and watermarks stay monotone across the reset)."""
+    return {"type": "reset", "config": config}
+
+
+def reset_ok() -> dict:
+    """Acknowledges a :func:`reset`."""
+    return {"type": "reset-ok"}
+
+
+def err(message: str) -> dict:
+    """A worker's terminal failure report."""
+    return {"type": "err", "message": message}
+
+
+# -- exchange ------------------------------------------------------------------
+
+
+def edges(frm: int, groups, mark: int) -> dict:
+    """Worker ``frm``'s freshly derived edge groups as a versioned
+    frontier payload, plus its ticket watermark.  Empty ``groups`` is a
+    pure watermark advance."""
+    return {"type": "edges", "from": frm,
+            "frontier": encode_frontier(groups), "mark": mark}

@@ -1,0 +1,523 @@
+"""The :class:`ClusterMonitor` facade: N worker processes, one monitor.
+
+From the caller's side this is just another
+:class:`~repro.core.api.AnomalyMonitor` — the same lifecycle verbs, the
+same ``close_window()`` / ``reports`` / ``cumulative_estimates()``
+surface the serial monitor and the threaded service expose, driven by
+one :class:`~repro.core.config.RushMonConfig` (``num_workers``,
+``cluster_batch``).  Behind the facade:
+
+- **Routing.**  Every event gets a global, monotone *ticket*.
+  Operations go to the worker owning their key
+  (:func:`~repro.core.frontier.key_partition` — the same placement
+  digest the in-process sharded collector uses); BUU begin/commit
+  events are broadcast to every worker, because lifecycle state is
+  graph-global.  Events buffer per worker and ship as ``route`` frames
+  over the :mod:`repro.net.protocol` framing, with the net layer's
+  sequence/cumulative-ack session per link (so worker delivery is
+  effectively once and a bounded ack window provides backpressure).
+- **Exchange.**  Workers forward the edges they derive to every peer
+  (see :mod:`repro.cluster.worker`), so each worker's live graph is the
+  full serial graph and cross-shard transactions close cycles exactly
+  as they would serially.
+- **Aggregation.**  ``close_window()`` runs a flush barrier and *sums*
+  the per-worker raw window components — cycle counts, edge stats,
+  operation counts, pattern tallies — then estimates once from the
+  summed raw counts.  Theorem 5.2's estimator is linear in the counts
+  and the shards are item-disjoint, so this equals the serial
+  monitor's estimate exactly (bit-exactly at any ``sr`` with
+  ``mob=False``; the ``sr=1`` differential pins it against the exact
+  checkers).
+
+Workers are daemon processes started lazily on first ingestion via the
+``spawn`` start method (fork-safety: no inherited locks or sockets), so
+constructing a ClusterMonitor is cheap and a never-used one spawns
+nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import socket
+import threading
+import time
+from dataclasses import asdict
+from typing import Iterable
+
+from repro.cluster import messages as msg
+from repro.cluster.worker import recv_message, worker_main
+from repro.core.config import RushMonConfig
+from repro.core.estimator import estimate_three_cycles, estimate_two_cycles
+from repro.core.frontier import key_partition
+from repro.core.types import (
+    AnomalyReport,
+    BuuId,
+    CycleCounts,
+    EdgeStats,
+    Operation,
+    OpType,
+)
+from repro.net.protocol import FrameReader, ProtocolError, encode_frame
+from repro.obs.instrument import instrument_cluster_monitor
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ClusterMonitor"]
+
+_RECV = 1 << 16
+
+#: Enum member -> wire tag, avoiding the (slow) enum ``.value``
+#: descriptor in the per-operation routing loop.
+_OP_WIRE = {member: member.value for member in OpType}
+
+#: Routing is hottest on repeated keys; cache key -> owner up to this
+#: many distinct keys (beyond it, compute without caching — placement
+#: stays correct, only the lookup speed degrades).
+_OWNER_CACHE_MAX = 1 << 20
+
+
+class _WorkerLink:
+    """The router's view of one worker: process, control socket,
+    session counters and the reply queue its reader thread fills."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.proc: multiprocessing.process.BaseProcess | None = None
+        self.sock: socket.socket | None = None
+        self.reader = FrameReader()
+        self.port: int | None = None
+        self.send_seq = 0
+        self.acked = 0
+        self.cond = threading.Condition()
+        self.replies: queue.Queue = queue.Queue()
+        self.error: str | None = None
+        self.thread: threading.Thread | None = None
+
+
+class ClusterMonitor:
+    """Multi-process sharded monitor behind the AnomalyMonitor surface.
+
+    >>> from repro.core.config import RushMonConfig
+    >>> from repro.cluster import ClusterMonitor
+    >>> mon = ClusterMonitor(RushMonConfig(sampling_rate=1, mob=False,
+    ...                                    num_workers=2))
+
+    feed it like any monitor, ``close_window()`` for a cluster-wide
+    report, and ``stop()`` (or use it as a context manager) when done.
+
+    Sized by ``config.num_workers``; ``config.cluster_batch`` bounds
+    per-worker buffering between route flushes (every flush ships a
+    frame to *every* worker — empty frames advance the cross-worker
+    watermarks, so one hot shard cannot stall the merge on cold ones).
+    """
+
+    #: Route frames in flight per worker before ingestion blocks.  The
+    #: product ``ack_window * cluster_batch`` bounds the backlog a
+    #: barrier must drain while the router idles, so keep it modest.
+    ack_window = 8
+    #: Seconds allowed for worker spawn + mesh handshake.
+    handshake_timeout = 60.0
+    #: Seconds allowed for a flush/query/reset barrier.
+    barrier_timeout = 120.0
+
+    def __init__(self, config: RushMonConfig | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.config = config or RushMonConfig()
+        if self.config.resample_interval is not None:
+            raise ValueError(
+                "resample_interval is serial-only: cluster workers cannot "
+                "re-pick sampled items in lockstep (each worker sees only "
+                "its own shard's operations)"
+            )
+        self.num_workers = self.config.num_workers
+        n = self.num_workers
+        self._mask = (n - 1) if n & (n - 1) == 0 else None
+        self.reports: list[AnomalyReport] = []
+        self._lock = threading.RLock()
+        self._links: list[_WorkerLink] = []
+        self._listener: socket.socket | None = None
+        self._started = False
+        self._stopped = False
+        self._ticket = 0
+        self._now = 0
+        self._window_start = 0
+        self._buffers: list[list] = [[] for _ in range(n)]
+        self._owners: dict = {}
+        self.ops_routed = 0
+        self.lifecycle_broadcasts = 0
+        self.router_flushes = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        instrument_cluster_monitor(self.metrics, self)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_started_locked(self) -> None:
+        if self._started:
+            return
+        if self._stopped:
+            raise RuntimeError("ClusterMonitor is stopped")
+        ctx = multiprocessing.get_context("spawn")
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(self.handshake_timeout)
+        host, port = self._listener.getsockname()
+        config_dict = asdict(self.config)
+        self._links = [_WorkerLink(i) for i in range(self.num_workers)]
+        try:
+            for link in self._links:
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(link.index, self.num_workers, host, port,
+                          config_dict),
+                    daemon=True,
+                    name=f"rushmon-cluster-{link.index}",
+                )
+                proc.start()
+                link.proc = proc
+            for _ in range(self.num_workers):
+                sock, _ = self._listener.accept()
+                sock.settimeout(self.handshake_timeout)
+                reader = FrameReader()
+                hello = recv_message(sock, reader)
+                if hello["type"] != "worker-hello":
+                    raise ProtocolError(
+                        f"expected worker-hello, got {hello['type']!r}")
+                link = self._links[hello["index"]]
+                link.sock, link.reader, link.port = sock, reader, hello["port"]
+            frame = encode_frame(msg.peers([ln.port for ln in self._links]))
+            for link in self._links:
+                link.sock.sendall(frame)
+            for link in self._links:
+                reply = recv_message(link.sock, link.reader)
+                if reply["type"] == "err":
+                    raise RuntimeError(
+                        f"cluster worker {link.index} failed during "
+                        f"startup: {reply['message']}")
+                if reply["type"] != "ready":
+                    raise ProtocolError(
+                        f"expected ready, got {reply['type']!r}")
+                link.sock.settimeout(None)
+        except Exception:
+            self._teardown_locked()
+            raise
+        for link in self._links:
+            link.thread = threading.Thread(
+                target=self._reader_loop, args=(link,), daemon=True,
+                name=f"rushmon-cluster-reader-{link.index}",
+            )
+            link.thread.start()
+        self._started = True
+
+    def _reader_loop(self, link: _WorkerLink) -> None:
+        sock = link.sock
+        while True:
+            try:
+                data = sock.recv(_RECV)
+            except OSError:
+                data = b""
+            if not data:
+                self._mark_dead(link, "control connection closed")
+                return
+            for message in link.reader.feed(data):
+                kind = message["type"]
+                if kind == "ack":
+                    with link.cond:
+                        if message["seq"] > link.acked:
+                            link.acked = message["seq"]
+                        link.cond.notify_all()
+                elif kind == "err":
+                    self._mark_dead(link, message["message"])
+                else:
+                    link.replies.put(message)
+
+    def _mark_dead(self, link: _WorkerLink, reason: str) -> None:
+        if link.error is None:
+            link.error = reason
+        # Wake both kinds of waiters: barrier reply reads and
+        # backpressured route sends.
+        link.replies.put({"type": "err", "message": link.error})
+        with link.cond:
+            link.cond.notify_all()
+
+    def stop(self) -> None:
+        """Shut the cluster down: orderly ``bye``, then join (and, past
+        a grace period, terminate) the worker processes.  Idempotent; a
+        stopped monitor refuses further ingestion."""
+        with self._lock:
+            self._stopped = True
+            if not self._started:
+                if self._listener is not None:
+                    self._listener.close()
+                    self._listener = None
+                return
+            self._started = False
+            self._teardown_locked()
+
+    def _teardown_locked(self) -> None:
+        frame = encode_frame(msg.bye())
+        for link in self._links:
+            if link.sock is not None:
+                try:
+                    link.sock.sendall(frame)
+                except OSError:
+                    pass
+        for link in self._links:
+            if link.proc is not None:
+                link.proc.join(timeout=5.0)
+                if link.proc.is_alive():
+                    link.proc.terminate()
+                    link.proc.join(timeout=1.0)
+            if link.sock is not None:
+                try:
+                    link.sock.close()
+                except OSError:
+                    pass
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def __enter__(self) -> "ClusterMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- ingestion (MonitorListener) -------------------------------------------
+
+    def _time(self, explicit: int | None) -> int:
+        if explicit is not None:
+            self._now = max(self._now, explicit)
+            return explicit
+        return self._now
+
+    def _next_ticket(self) -> int:
+        self._ticket += 1
+        return self._ticket
+
+    def begin_buu(self, buu: BuuId, start_time: int | None = None) -> None:
+        with self._lock:
+            self._ensure_started_locked()
+            when = self._time(start_time)
+            ticket = self._next_ticket()
+            for buffer in self._buffers:
+                buffer.append(msg.wire_begin(buu, when, ticket))
+            self.lifecycle_broadcasts += 1
+            self._route_if_full_locked()
+
+    def commit_buu(self, buu: BuuId, commit_time: int | None = None) -> None:
+        with self._lock:
+            self._ensure_started_locked()
+            when = self._time(commit_time)
+            ticket = self._next_ticket()
+            for buffer in self._buffers:
+                buffer.append(msg.wire_commit(buu, when, ticket))
+            self.lifecycle_broadcasts += 1
+            self._route_if_full_locked()
+
+    def _owner_of(self, key) -> int:
+        owner = self._owners.get(key)
+        if owner is None:
+            owner = key_partition(key, self.num_workers, self._mask)
+            if len(self._owners) < _OWNER_CACHE_MAX:
+                self._owners[key] = owner
+        return owner
+
+    def on_operation(self, op: Operation) -> None:
+        with self._lock:
+            self._ensure_started_locked()
+            if op.seq > self._now:
+                self._now = op.seq
+            ticket = self._next_ticket()
+            self._buffers[self._owner_of(op.key)].append(
+                [_OP_WIRE[op.op], op.buu, op.key, op.seq, ticket])
+            self.ops_routed += 1
+            self._route_if_full_locked()
+
+    def on_operations(self, ops: Iterable[Operation]) -> None:
+        with self._lock:
+            self._ensure_started_locked()
+            buffers = self._buffers
+            owners = self._owners
+            n, mask = self.num_workers, self._mask
+            op_wire = _OP_WIRE
+            now = self._now
+            ticket = self._ticket
+            count = 0
+            for op in ops:
+                seq = op.seq
+                if seq > now:
+                    now = seq
+                ticket += 1
+                key = op.key
+                owner = owners.get(key)
+                if owner is None:
+                    owner = key_partition(key, n, mask)
+                    if len(owners) < _OWNER_CACHE_MAX:
+                        owners[key] = owner
+                buffers[owner].append(
+                    [op_wire[op.op], op.buu, key, seq, ticket])
+                count += 1
+            self._ticket = ticket
+            self._now = now
+            self.ops_routed += count
+            self._route_if_full_locked()
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route_if_full_locked(self) -> None:
+        if max(len(b) for b in self._buffers) >= self.config.cluster_batch:
+            self._flush_buffers_locked()
+
+    def _flush_buffers_locked(self) -> None:
+        """Ship every per-worker buffer as one route frame.  All-or-none:
+        even an empty buffer ships (an empty frame carries the ticket
+        high-water mark, which peers need to advance the merge)."""
+        if all(not b for b in self._buffers):
+            return
+        for link, events in zip(self._links, self._buffers):
+            self._send_route(link, events)
+        self._buffers = [[] for _ in range(self.num_workers)]
+        self.router_flushes += 1
+
+    def _send_route(self, link: _WorkerLink, events: list) -> None:
+        self._check_alive(link)
+        if link.send_seq - link.acked >= self.ack_window:
+            deadline = time.monotonic() + self.barrier_timeout
+            with link.cond:
+                while link.send_seq - link.acked >= self.ack_window:
+                    self._check_alive(link)
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RuntimeError(
+                            f"cluster worker {link.index} stopped acking "
+                            f"route frames (backpressure timeout)")
+                    link.cond.wait(remaining)
+        link.send_seq += 1
+        link.sock.sendall(encode_frame(
+            msg.route(link.send_seq, self._ticket, events)))
+
+    def _check_alive(self, link: _WorkerLink) -> None:
+        if link.error is not None:
+            raise RuntimeError(
+                f"cluster worker {link.index} failed: {link.error}")
+
+    # -- barriers --------------------------------------------------------------
+
+    def _barrier(self, window: bool, end: int = 0) -> list[dict]:
+        """Flush-and-wait on every worker; returns their replies in
+        worker order.  Callers hold the lock and have flushed buffers."""
+        frame = encode_frame(msg.flush(self._ticket, window, end))
+        for link in self._links:
+            self._check_alive(link)
+            link.sock.sendall(frame)
+        return [self._await_reply(link) for link in self._links]
+
+    def _await_reply(self, link: _WorkerLink) -> dict:
+        try:
+            reply = link.replies.get(timeout=self.barrier_timeout)
+        except queue.Empty:
+            raise RuntimeError(
+                f"cluster worker {link.index} did not reach the barrier "
+                f"within {self.barrier_timeout}s") from None
+        if reply["type"] == "err":
+            raise RuntimeError(
+                f"cluster worker {link.index} failed: {reply['message']}")
+        return reply
+
+    # -- reporting (AnomalyMonitor) --------------------------------------------
+
+    @property
+    def sampling_probability(self) -> float:
+        return 1.0 / self.config.sampling_rate
+
+    def close_window(self, now: int | None = None) -> AnomalyReport:
+        """Close the cluster-wide window: barrier every worker at the
+        current ticket, sum their raw window components, estimate once
+        from the sum (Theorem 5.2 linearity over item-disjoint shards)."""
+        with self._lock:
+            self._ensure_started_locked()
+            end = self._time(now)
+            self._flush_buffers_locked()
+            replies = self._barrier(window=True, end=end)
+            raw = CycleCounts()
+            edges = EdgeStats()
+            operations = 0
+            patterns: dict = {}
+            for reply in replies:
+                raw.add(CycleCounts(**reply["raw"]))
+                edges.add(EdgeStats(**reply["edges"]))
+                operations += reply["ops"]
+                for pattern, count in reply["patterns"].items():
+                    patterns[pattern] = patterns.get(pattern, 0) + count
+            p = self.sampling_probability
+            report = AnomalyReport(
+                window_start=self._window_start,
+                window_end=end,
+                estimated_2=estimate_two_cycles(raw, p),
+                estimated_3=estimate_three_cycles(raw, p),
+                raw=raw,
+                edges=edges,
+                operations=operations,
+                patterns=patterns,
+                health="ok",
+            )
+            self._window_start = end
+            self.reports.append(report)
+            return report
+
+    def latest_report(self) -> AnomalyReport | None:
+        """The most recently closed window's report (``None`` if no
+        window has been closed yet)."""
+        with self._lock:
+            return self.reports[-1] if self.reports else None
+
+    def counts(self) -> CycleCounts:
+        """Cluster-wide cumulative detector counts (a ``synced`` barrier
+        that leaves the current window open)."""
+        with self._lock:
+            self._ensure_started_locked()
+            self._flush_buffers_locked()
+            total = CycleCounts()
+            for reply in self._barrier(window=False):
+                total.add(CycleCounts(**reply["counts"]))
+            return total
+
+    def cumulative_estimates(self) -> tuple[float, float]:
+        """Unbiased (E2, E3) over everything observed since construction
+        (or the last :meth:`reset`)."""
+        total = self.counts()
+        p = self.sampling_probability
+        return (estimate_two_cycles(total, p),
+                estimate_three_cycles(total, p))
+
+    # -- harness hooks ---------------------------------------------------------
+
+    def reset(self, config: RushMonConfig) -> None:
+        """Rebuild every worker's engine in place with ``config`` —
+        differential and bench harnesses reuse one spawned cluster
+        across runs, amortizing the process-spawn cost.  Tickets and
+        watermarks stay monotone across the reset; reports, the logical
+        clock and window bounds start fresh."""
+        with self._lock:
+            if config.num_workers != self.num_workers:
+                raise ValueError(
+                    f"reset cannot change num_workers "
+                    f"({self.num_workers} -> {config.num_workers}); "
+                    f"start a new ClusterMonitor instead")
+            if config.resample_interval is not None:
+                raise ValueError("resample_interval is serial-only")
+            if self._started:
+                self._flush_buffers_locked()
+                self._barrier(window=False)
+                frame = encode_frame(msg.reset(asdict(config)))
+                for link in self._links:
+                    link.sock.sendall(frame)
+                for link in self._links:
+                    reply = self._await_reply(link)
+                    if reply["type"] != "reset-ok":
+                        raise ProtocolError(
+                            f"expected reset-ok, got {reply['type']!r}")
+            self.config = config
+            self.reports = []
+            self._now = 0
+            self._window_start = 0
+            self._buffers = [[] for _ in range(self.num_workers)]

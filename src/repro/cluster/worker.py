@@ -1,0 +1,507 @@
+"""One cluster worker process: a key-range shard of collector+detector.
+
+Why every worker is bit-exact
+-----------------------------
+
+The serial :class:`~repro.core.monitor.RushMon` applies one totally
+ordered event stream to one collector and one detector.  The cluster
+reproduces that execution *redundantly*: every worker's detector sees
+**every** edge of the cluster-wide stream, in the global ticket order
+the router assigned — its own edges through the counting path
+(:meth:`CycleDetector.add_edge` via the window tracker) and its peers'
+edges through :meth:`CycleDetector.add_edge_uncounted` — plus every
+lifecycle event (broadcast by the router).  Hence each worker's live
+graph evolves exactly like the serial monitor's.
+
+What is *partitioned* is attribution.  Collection is data-centric: all
+operations on a key are routed to the key's owner, so the owner derives
+exactly the edges the serial collector would derive for those keys
+(bookkeeping is per item, :class:`ItemSampler` is pure in the key, and
+the per-key operation order equals the serial order).  A new cycle is
+counted at the instant its *last* edge (in ticket order) enters the
+graph — and that edge was derived by exactly one worker, which is the
+only worker that inserts it through the counting path.  So the
+per-worker :class:`CycleCounts` (and pattern and edge-stat tallies)
+partition the serial monitor's counts exactly, and summing them — the
+router's job — recovers the serial numbers bit for bit.  At ``sr = 1``
+the sum therefore matches the exact offline checkers too.
+
+(The one caveat is MOB: its reservoir uses one collector-level RNG, so
+per-worker draw *order* differs from the serial interleaving.  Each
+worker still runs a faithful Algorithm 2 over its keys — estimates stay
+unbiased — but bit-for-bit differentials pin ``mob=False``.)
+
+The merge
+---------
+
+Three ingredients keep the redundant executions in lockstep:
+
+- **Tickets.**  The router stamps every event (operation or lifecycle)
+  with a globally unique, monotone ticket.  Within one worker the
+  streams are disjoint: its control stream carries its own operations
+  and all lifecycle events, and each peer stream carries edge groups
+  for that peer's operations only.
+- **Watermarks.**  Every ``route`` batch carries the router's ticket
+  high-water mark; after processing a batch the worker broadcasts its
+  freshly derived edge groups — and that watermark — to all peers (an
+  empty broadcast is a pure watermark advance, so idle shards never
+  stall busy ones).
+- **The N-stream merge.**  Each stream's queue is complete up to its
+  watermark, so an event with ticket ``t`` is applied only once *every*
+  stream's watermark is ``>= t`` — i.e. once no earlier event can still
+  arrive.  Applying always picks the minimum pending ticket (a k-way
+  heap merge up to the minimum watermark), so application order *is*
+  ticket order.
+
+A ``flush`` barrier closes the loop: the worker broadcasts its final
+watermark, waits until the merge has drained every ticket up to the
+barrier, and replies with raw, summable window components (estimator
+linearity over item-disjoint shards, Theorem 5.2 — the router adds raw
+counts *then* estimates, which at a shared sampling probability equals
+summing per-shard estimates).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from heapq import heapify, heappop, heapreplace
+
+from repro.cluster import messages as msg
+from repro.core.collector import DataCentricCollector
+from repro.core.config import RushMonConfig
+from repro.core.detector import CycleDetector
+from repro.core.frontier import decode_frontier
+from repro.core.monitor import WindowTracker
+from repro.core.pruning import make_pruner
+from repro.core.types import Operation
+from repro.net.protocol import FrameReader, ProtocolError, encode_frame
+
+__all__ = ["ClusterWorker", "recv_message", "worker_main"]
+
+_RECV = 1 << 16
+
+
+def recv_message(sock: socket.socket, reader: FrameReader) -> dict:
+    """Block until one complete message arrives on ``sock``.
+
+    Messages already buffered in ``reader`` are drained first; a peer
+    closing mid-message raises :class:`ConnectionError`.  Used for the
+    lock-step handshakes (hello / peers / ready) on both ends.
+    """
+    for message in reader.feed(b""):
+        return message
+    while True:
+        data = sock.recv(_RECV)
+        if not data:
+            raise ConnectionError("peer closed during handshake")
+        for message in reader.feed(data):
+            return message
+
+
+class _PeerStream:
+    """Pending edge groups and the ticket watermark of one peer."""
+
+    __slots__ = ("pending", "mark")
+
+    def __init__(self) -> None:
+        self.pending: deque = deque()
+        self.mark = 0
+
+
+class ClusterWorker:
+    """The engine and event loop of one worker process.
+
+    Runs single-threaded collection (the control loop owns the
+    collector) with per-peer reader threads feeding the merge; all
+    merge state — pending queues, watermarks, detector, window — is
+    guarded by one condition variable, which the flush barrier also
+    waits on.
+    """
+
+    #: Seconds to wait for the peer mesh and for barrier drains.
+    handshake_timeout = 30.0
+    barrier_timeout = 120.0
+
+    def __init__(self, index: int, num_workers: int,
+                 config: RushMonConfig) -> None:
+        self.index = index
+        self.num_workers = num_workers
+        self._merge = threading.Condition()
+        self._local: deque = deque()
+        self._local_mark = 0
+        self._peers = {j: _PeerStream() for j in range(num_workers)
+                       if j != index}
+        self._peer_socks: dict[int, socket.socket] = {}
+        self._route_high = 0
+        self._build_engine(config)
+
+    def _build_engine(self, config: RushMonConfig) -> None:
+        """(Re)build collector/detector/window; merge state survives a
+        rebuild (tickets and watermarks stay monotone across resets)."""
+        self.config = config
+        self.collector = DataCentricCollector(
+            sampling_rate=config.sampling_rate,
+            mob=config.mob,
+            seed=config.seed,
+        )
+        self.detector = CycleDetector(
+            pruner=make_pruner(config.pruning),
+            prune_interval=config.prune_interval,
+            count_three=config.count_three_cycles,
+        )
+        self.window = WindowTracker(self.detector)
+        self._local.clear()
+        for stream in self._peers.values():
+            stream.pending.clear()
+
+    # -- the N-stream merge (callers hold self._merge) -----------------------
+
+    def _advance_locked(self) -> None:
+        """Apply every event that can no longer be preceded.
+
+        Key invariant: each stream's queue is *complete up to its
+        watermark* — edge groups travel in the same message as the mark
+        that covers them, and a route batch's events all precede its
+        ``high``.  So the safe frontier is simply ``g = min(mark over
+        all streams)``: every pending event with ticket ``<= g`` is
+        already queued somewhere, and a ticket-ordered k-way merge of
+        the queues up to ``g`` *is* the serial order.  The merge runs
+        on a heap of stream heads (one C-level heap op per event)
+        instead of rescanning every stream per event; a lone busy
+        stream drains as a straight run.
+        """
+        local = self._local
+        peers = self._peers
+        g = self._local_mark
+        for stream in peers.values():
+            if stream.mark < g:
+                g = stream.mark
+        heap = []
+        if local and local[0][0] <= g:
+            heap.append((local[0][0], -1, local))
+        idx = 0
+        for stream in peers.values():
+            pending = stream.pending
+            if pending and pending[0][0] <= g:
+                idx += 1
+                heap.append((pending[0][0], idx, pending))
+        if not heap:
+            return
+        apply_local = self._apply_local
+        uncounted = self.detector.add_edge_uncounted
+        heapify(heap)
+        replace = heapreplace
+        pop = heappop
+        while heap:
+            if len(heap) == 1:
+                # Run fast path: no other stream can interleave below g.
+                _, i, queue = heap[0]
+                if i < 0:
+                    while queue and queue[0][0] <= g:
+                        apply_local(queue.popleft())
+                else:
+                    while queue and queue[0][0] <= g:
+                        for edge in queue.popleft()[1]:
+                            uncounted(edge)
+                return
+            _, i, queue = heap[0]
+            event = queue.popleft()
+            if i < 0:
+                apply_local(event)
+            else:
+                for edge in event[1]:
+                    uncounted(edge)
+            if queue and queue[0][0] <= g:
+                replace(heap, (queue[0][0], i, queue))
+            else:
+                pop(heap)
+
+    def _apply_local(self, event: tuple) -> None:
+        kind = event[1]
+        if kind == "o":
+            self.window.observe_operation()
+            observe = self.window.observe_edge
+            for edge in event[3]:
+                observe(edge)
+        elif kind == "b":
+            self.detector.begin_buu(event[2], event[3])
+        else:
+            self.detector.commit_buu(event[2], event[3])
+
+    def _drained_locked(self, high: int) -> bool:
+        if self._local or self._local_mark < high:
+            return False
+        return all(not s.pending and s.mark >= high
+                   for s in self._peers.values())
+
+    # -- control-loop handlers ----------------------------------------------
+
+    def _handle_route(self, message: dict) -> None:
+        seq = message["seq"]
+        if seq <= self._route_high:
+            # Duplicate delivery: re-ack, don't re-ingest — the same
+            # high-water dedup the net server applies to batches.
+            self._control.sendall(encode_frame(msg.cluster_ack(
+                self._route_high)))
+            return
+        if seq != self._route_high + 1:
+            raise ProtocolError(
+                f"route sequence gap: got {seq}, expected "
+                f"{self._route_high + 1}"
+            )
+        groups, local_batch = self._collect_route_events(message["events"])
+        high = message["high"]
+        with self._merge:
+            self._local.extend(local_batch)
+            if high > self._local_mark:
+                self._local_mark = high
+            self._advance_locked()
+            self._merge.notify_all()
+        self._route_high = seq
+        self._broadcast(groups, high)
+        self._control.sendall(encode_frame(msg.cluster_ack(seq)))
+
+    def _collect_route_events(self, records: list) -> tuple[list, list]:
+        """Decode one route batch, run its operations through the
+        collector, and return ``(groups, local_batch)``.
+
+        Operations go through :meth:`DataCentricCollector.handle_batch`
+        (documented bit-identical to per-op handling, same RNG draw
+        order) and the flat edge list is regrouped per ticket by
+        ``(key, seq)``: the collector stamps every derived edge with
+        the source operation's key (as ``label``) and ``seq``, so the
+        regroup is exact *provided* no two operations in the batch
+        share ``(key, seq)``.  That is checked up front — before
+        ``handle_batch`` mutates collector state — and a batch with a
+        duplicate falls back to per-op handling.
+        """
+        op_types = msg._OP_TYPES
+        ops: list[Operation] = []
+        slots: list[int] = []
+        local_batch: list = []
+        try:
+            for record in records:
+                kind = record[0]
+                op_type = op_types.get(kind)
+                if op_type is not None:
+                    op = Operation(op_type, record[1], record[2], record[3])
+                    ops.append(op)
+                    slots.append(len(local_batch))
+                    local_batch.append([record[4], "o", op, ()])
+                elif kind == "b" or kind == "c":
+                    local_batch.append((record[3], kind, record[1],
+                                        record[2]))
+                else:
+                    raise ProtocolError(f"unknown event kind {kind!r}")
+        except ProtocolError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(
+                "malformed event record in route batch") from exc
+        groups: list = []
+        if not ops:
+            return groups, local_batch
+        if len({(op.key, op.seq) for op in ops}) != len(ops):
+            handle = self.collector.handle
+            for i, op in zip(slots, ops):
+                derived = handle(op)
+                if derived:
+                    local_batch[i][3] = derived
+                    groups.append((local_batch[i][0], derived))
+            return groups, local_batch
+        edges = self.collector.handle_batch(ops)
+        by_op: dict = {}
+        for edge in edges:
+            k = (edge.label, edge.seq)
+            group = by_op.get(k)
+            if group is None:
+                by_op[k] = [edge]
+            else:
+                group.append(edge)
+        for i, op in zip(slots, ops):
+            derived = by_op.get((op.key, op.seq))
+            if derived is not None:
+                local_batch[i][3] = derived
+                groups.append((local_batch[i][0], derived))
+        return groups, local_batch
+
+    def _broadcast(self, groups: list, mark: int) -> None:
+        if not self._peer_socks:
+            return
+        frame = encode_frame(msg.edges(self.index, groups, mark))
+        for sock in self._peer_socks.values():
+            sock.sendall(frame)
+
+    def _handle_flush(self, message: dict) -> None:
+        high = message["high"]
+        with self._merge:
+            if high > self._local_mark:
+                self._local_mark = high
+            self._advance_locked()
+            self._merge.notify_all()
+        self._broadcast([], high)
+        deadline = time.monotonic() + self.barrier_timeout
+        with self._merge:
+            while not self._drained_locked(high):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"worker {self.index}: barrier at ticket {high} "
+                        f"timed out after {self.barrier_timeout}s "
+                        f"(a peer stalled or died)"
+                    )
+                self._merge.wait(remaining)
+            if message["window"]:
+                report = self.window.close(
+                    end=message.get("now", 0),
+                    probability=self.collector.sampling_probability,
+                )
+                reply = msg.report_reply(report, self.detector.counts)
+            else:
+                reply = msg.synced(self.detector.counts)
+        self._control.sendall(encode_frame(reply))
+
+    def _handle_reset(self, message: dict) -> None:
+        config = RushMonConfig(**message["config"])
+        with self._merge:
+            self._build_engine(config)
+        self._control.sendall(encode_frame(msg.reset_ok()))
+
+    # -- peer exchange --------------------------------------------------------
+
+    def _peer_loop(self, j: int, sock: socket.socket,
+                   reader: FrameReader) -> None:
+        stream = self._peers[j]
+        try:
+            while True:
+                data = sock.recv(_RECV)
+                if not data:
+                    return
+                for message in reader.feed(data):
+                    if message["type"] == "edges":
+                        groups, _ = decode_frontier(message["frontier"])
+                        with self._merge:
+                            if groups:
+                                stream.pending.extend(groups)
+                            if message["mark"] > stream.mark:
+                                stream.mark = message["mark"]
+                            self._advance_locked()
+                            self._merge.notify_all()
+                    elif message["type"] == "bye":
+                        return
+        except (OSError, ValueError):
+            return  # torn down mid-recv during shutdown
+
+    def _connect_mesh(self, ports: list[int]) -> None:
+        """Build the full worker mesh: accept from higher indices,
+        connect to lower ones (one duplex link per pair)."""
+        expected = self.num_workers - 1 - self.index
+        inbound: dict[int, tuple[socket.socket, FrameReader]] = {}
+        failures: list[BaseException] = []
+
+        def accept_loop() -> None:
+            try:
+                for _ in range(expected):
+                    sock, _ = self._listener.accept()
+                    reader = FrameReader()
+                    hello = recv_message(sock, reader)
+                    if hello["type"] != "peer-hello":
+                        raise ProtocolError(
+                            f"expected peer-hello, got {hello['type']!r}")
+                    inbound[hello["index"]] = (sock, reader)
+            except BaseException as exc:  # surfaced after join
+                failures.append(exc)
+
+        acceptor = threading.Thread(target=accept_loop, daemon=True)
+        acceptor.start()
+        for j in range(self.index):
+            sock = socket.create_connection(
+                ("127.0.0.1", ports[j]), timeout=self.handshake_timeout)
+            sock.settimeout(None)
+            sock.sendall(encode_frame(msg.peer_hello(self.index)))
+            self._peer_socks[j] = sock
+            threading.Thread(
+                target=self._peer_loop, args=(j, sock, FrameReader()),
+                daemon=True, name=f"peer-{self.index}-{j}",
+            ).start()
+        acceptor.join(self.handshake_timeout)
+        if failures:
+            raise failures[0]
+        if acceptor.is_alive() or len(inbound) != expected:
+            raise RuntimeError(
+                f"worker {self.index}: peer mesh incomplete "
+                f"({len(inbound)}/{expected} inbound connections)"
+            )
+        for j, (sock, reader) in inbound.items():
+            self._peer_socks[j] = sock
+            threading.Thread(
+                target=self._peer_loop, args=(j, sock, reader),
+                daemon=True, name=f"peer-{self.index}-{j}",
+            ).start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self, host: str, port: int) -> None:
+        """Connect to the router, build the mesh, serve until ``bye``."""
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(self.handshake_timeout)
+        self._control = socket.create_connection(
+            (host, port), timeout=self.handshake_timeout)
+        try:
+            self._control.sendall(encode_frame(msg.worker_hello(
+                self.index, self._listener.getsockname()[1])))
+            reader = FrameReader()
+            self._control.settimeout(self.handshake_timeout)
+            peers_msg = recv_message(self._control, reader)
+            if peers_msg["type"] != "peers":
+                raise ProtocolError(
+                    f"expected peers, got {peers_msg['type']!r}")
+            self._connect_mesh(peers_msg["ports"])
+            self._listener.close()
+            self._control.sendall(encode_frame(msg.ready(self.index)))
+            self._control.settimeout(None)
+            self._serve(reader)
+        except Exception as exc:
+            try:
+                self._control.sendall(encode_frame(msg.err(
+                    f"worker {self.index}: {exc!r}")))
+            except OSError:
+                pass
+            raise
+        finally:
+            for sock in self._peer_socks.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._control.close()
+
+    def _serve(self, reader: FrameReader) -> None:
+        handlers = {
+            "route": self._handle_route,
+            "flush": self._handle_flush,
+            "reset": self._handle_reset,
+        }
+        while True:
+            data = self._control.recv(_RECV)
+            if not data:
+                return  # router vanished; daemon exit
+            for message in reader.feed(data):
+                if message["type"] == "bye":
+                    return
+                handler = handlers.get(message["type"])
+                if handler is None:
+                    raise ProtocolError(
+                        f"unexpected control message {message['type']!r}")
+                handler(message)
+
+
+def worker_main(index: int, num_workers: int, host: str, port: int,
+                config_dict: dict) -> None:
+    """Spawn entry point (must stay top-level importable for the
+    ``spawn`` start method): build the engine and serve."""
+    ClusterWorker(index, num_workers,
+                  RushMonConfig(**config_dict)).run(host, port)

@@ -58,6 +58,7 @@ from __future__ import annotations
 import logging
 import threading
 import time
+import warnings
 from dataclasses import asdict, replace
 from typing import Iterable
 
@@ -75,8 +76,29 @@ from repro.storage import wal
 #: Default ops per ingest/detect batch.  Big enough to amortize lock
 #: acquisitions and detector dispatch, small enough that a pass's
 #: incremental progress (crash-safe consumed-count advancement) stays
-#: fine-grained.
+#: fine-grained.  (Canonical home: ``repro.core.config`` — re-exported
+#: here for backward compatibility.)
 DEFAULT_BATCH_SIZE = 256
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so
+#: the deprecated construction kwargs can warn only when actually used.
+_UNSET = object()
+
+#: Service tunables that moved into :class:`RushMonConfig`; passing them
+#: as keywords still works for one release but warns.
+_CONFIG_KWARGS = (
+    "num_shards",
+    "detect_interval",
+    "journal_capacity",
+    "overflow",
+    "block_timeout",
+    "max_restarts",
+    "restart_backoff",
+    "max_backoff",
+    "checkpoint_path",
+    "checkpoint_interval",
+    "batch_size",
+)
 
 _log = logging.getLogger(__name__)
 
@@ -87,37 +109,33 @@ class RushMonService:
     Parameters
     ----------
     config:
-        The usual :class:`~repro.core.config.RushMonConfig`.
-        ``resample_interval`` is **unsupported** in sharded mode (a
-        sample switch would need a stop-the-world drain on the hot path
-        — see :mod:`repro.core.concurrent.sharded`); passing one raises
+        The single construction path: one validated
+        :class:`~repro.core.config.RushMonConfig` carrying both the
+        monitor tunables (``sampling_rate`` …) and the service tunables
+        (``num_shards``, ``detect_interval``, the
+        ``journal_capacity``/``overflow``/``block_timeout``
+        backpressure knobs, the ``max_restarts``/``restart_backoff``/
+        ``max_backoff`` supervision schedule, ``batch_size`` and
+        ``checkpoint_path``/``checkpoint_interval`` — see the config's
+        docstring for each).  ``resample_interval`` is **unsupported**
+        in sharded mode (a sample switch would need a stop-the-world
+        drain on the hot path — see
+        :mod:`repro.core.concurrent.sharded`); passing one raises
         ``ValueError`` rather than silently dropping the setting.  Use
         the serial :class:`~repro.core.monitor.RushMon` for periodic
         re-sampling.
-    num_shards:
-        Key-hash partitions of the collector (= write parallelism).
-    detect_interval:
-        Seconds between background detection passes; each pass that
-        observed events closes one monitoring window.
+
+        .. deprecated:: 1.0
+           Passing the service tunables as keyword arguments
+           (``RushMonService(cfg, num_shards=4)``) still works but
+           emits a ``DeprecationWarning`` and will be removed in the
+           next release; the values override the config's.
     items:
         Optional known item universe for an exact up-front sample.
     record_trace:
         Keep the serialized (ticket-ordered) trace of everything
         processed, for offline replay/auditing.  Costs memory linear in
         the event count; meant for tests and debugging.
-    journal_capacity / overflow / block_timeout:
-        Bounded-journal backpressure, forwarded to
-        :class:`ShardedCollector` (see its docstring for the ``block`` /
-        ``shed`` / ``degrade`` policies).
-    max_restarts:
-        Consecutive detection-pass failures tolerated before the circuit
-        breaker trips and the service goes ``DEGRADED``.
-    restart_backoff / max_backoff:
-        Exponential-backoff schedule for detection-thread restarts.
-    checkpoint_path / checkpoint_interval:
-        When both are set, a checkpoint is written to ``checkpoint_path``
-        every ``checkpoint_interval`` detection passes (and once more on
-        ``stop()``).  :meth:`checkpoint` is always available manually.
     faults:
         Optional :class:`~repro.testing.faults.FaultInjector`; arms the
         ``detect.pass`` / ``detect.process`` points here and the
@@ -136,43 +154,51 @@ class RushMonService:
         self,
         config: RushMonConfig | None = None,
         *,
-        num_shards: int = 8,
-        detect_interval: float = 0.05,
+        num_shards: int = _UNSET,
+        detect_interval: float = _UNSET,
         items: Iterable[Key] | None = None,
         record_trace: bool = False,
-        journal_capacity: int | None = None,
-        overflow: str = "block",
-        block_timeout: float = 5.0,
-        max_restarts: int = 5,
-        restart_backoff: float = 0.05,
-        max_backoff: float = 2.0,
-        checkpoint_path: str | None = None,
-        checkpoint_interval: int | None = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        journal_capacity: int | None = _UNSET,
+        overflow: str = _UNSET,
+        block_timeout: float = _UNSET,
+        max_restarts: int = _UNSET,
+        restart_backoff: float = _UNSET,
+        max_backoff: float = _UNSET,
+        checkpoint_path: str | None = _UNSET,
+        checkpoint_interval: int | None = _UNSET,
+        batch_size: int = _UNSET,
         faults=None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        if detect_interval <= 0:
-            raise ValueError("detect_interval must be > 0")
-        if not isinstance(batch_size, int) or batch_size < 1:
-            raise ValueError(
-                f"batch_size must be an integer >= 1 (ops per shard-lock "
-                f"acquisition on ingest and per detector feed on the "
-                f"detection pass), got {batch_size!r}; the default "
-                f"{DEFAULT_BATCH_SIZE} suits most workloads"
-            )
-        if max_restarts < 0:
-            raise ValueError("max_restarts must be >= 0")
-        if restart_backoff <= 0 or max_backoff <= 0:
-            raise ValueError("restart_backoff and max_backoff must be > 0")
-        if checkpoint_interval is not None:
-            if checkpoint_interval < 1:
-                raise ValueError("checkpoint_interval must be >= 1 passes")
-            if checkpoint_path is None:
-                raise ValueError(
-                    "checkpoint_interval needs a checkpoint_path to write to"
-                )
         self.config = config or RushMonConfig()
+        overrides = {
+            name: value
+            for name, value in (
+                ("num_shards", num_shards),
+                ("detect_interval", detect_interval),
+                ("journal_capacity", journal_capacity),
+                ("overflow", overflow),
+                ("block_timeout", block_timeout),
+                ("max_restarts", max_restarts),
+                ("restart_backoff", restart_backoff),
+                ("max_backoff", max_backoff),
+                ("checkpoint_path", checkpoint_path),
+                ("checkpoint_interval", checkpoint_interval),
+                ("batch_size", batch_size),
+            )
+            if value is not _UNSET
+        }
+        if overrides:
+            warnings.warn(
+                f"passing {sorted(overrides)} as RushMonService keyword "
+                f"arguments is deprecated; set them on RushMonConfig "
+                f"instead (e.g. RushMonConfig(num_shards=4)) — the "
+                f"keywords will be removed in the next release",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # replace() re-runs RushMonConfig validation on the result.
+            self.config = replace(self.config, **overrides)
         if self.config.resample_interval is not None:
             raise ValueError(
                 "RushMonConfig.resample_interval is not supported by "
@@ -181,11 +207,11 @@ class RushMonService:
                 "shard.  Use the serial RushMon monitor, or set "
                 "resample_interval=None."
             )
-        self.detect_interval = detect_interval
-        self.batch_size = batch_size
-        self.max_restarts = max_restarts
-        self.restart_backoff = restart_backoff
-        self.max_backoff = max_backoff
+        self.detect_interval = self.config.detect_interval
+        self.batch_size = self.config.batch_size
+        self.max_restarts = self.config.max_restarts
+        self.restart_backoff = self.config.restart_backoff
+        self.max_backoff = self.config.max_backoff
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._faults = faults
         self.collector = ShardedCollector(
@@ -193,11 +219,11 @@ class RushMonService:
             mob=self.config.mob,
             items=items,
             seed=self.config.seed,
-            num_shards=num_shards,
+            num_shards=self.config.num_shards,
             journal=True,
-            journal_capacity=journal_capacity,
-            overflow=overflow,
-            block_timeout=block_timeout,
+            journal_capacity=self.config.journal_capacity,
+            overflow=self.config.overflow,
+            block_timeout=self.config.block_timeout,
             faults=faults,
             metrics=self.metrics,
         )
@@ -223,8 +249,8 @@ class RushMonService:
         self.processed_events = 0
         self.passes = 0
         self.checkpoints_written = 0
-        self._checkpoint_path = checkpoint_path
-        self._checkpoint_interval = checkpoint_interval
+        self._checkpoint_path = self.config.checkpoint_path
+        self._checkpoint_interval = self.config.checkpoint_interval
         self._last_checkpoint_pass = 0
         self._latest_published_at: float | None = None
         #: Opaque embedder state (e.g. ``repro.net`` session tables)
@@ -689,12 +715,20 @@ class RushMonService:
         return self._detect_pass()
 
     def flush(self) -> AnomalyReport | None:
-        """Alias of :meth:`close_window`, kept for backward
-        compatibility.
+        """Deprecated alias of :meth:`close_window`.
 
-        .. deprecated:: use :meth:`close_window` — the verb every
-           monitor shares (see :mod:`repro.core.api`).
+        .. deprecated:: 1.0
+           Call :meth:`close_window` — the verb every monitor shares
+           (see :mod:`repro.core.api`).  This alias warns now and will
+           be removed in the next release.
         """
+        warnings.warn(
+            "RushMonService.flush() is deprecated; call close_window() "
+            "instead (the canonical AnomalyMonitor verb, see "
+            "repro.core.api). flush() will be removed in the next release.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.close_window()
 
     # -- checkpoint / restore ----------------------------------------------------
@@ -774,21 +808,23 @@ class RushMonService:
         started — call :meth:`start` (or drive it inline)."""
         payload = wal.load_checkpoint(path)
         saved = payload["service"]
+        # Older checkpoints carried the service tunables in a separate
+        # "service" dict; since they moved into RushMonConfig, fold them
+        # back into the config (the separate dict always wins — it is
+        # what the snapshotted service actually ran with).  .get():
+        # pre-batching checkpoints lack batch_size.
+        cfg_dict = dict(payload["config"])
+        for knob in _CONFIG_KWARGS:
+            if knob in saved:
+                cfg_dict[knob] = saved[knob]
+        cfg_dict.setdefault("batch_size", DEFAULT_BATCH_SIZE)
+        # Checkpointing is re-armed by restore()'s own arguments, not by
+        # whatever schedule the snapshotted service had.
+        cfg_dict["checkpoint_path"] = checkpoint_path
+        cfg_dict["checkpoint_interval"] = checkpoint_interval
         service = cls(
-            RushMonConfig(**payload["config"]),
-            num_shards=saved["num_shards"],
-            detect_interval=saved["detect_interval"],
+            RushMonConfig(**cfg_dict),
             record_trace=saved["record_trace"],
-            journal_capacity=saved["journal_capacity"],
-            overflow=saved["overflow"],
-            block_timeout=saved["block_timeout"],
-            max_restarts=saved["max_restarts"],
-            restart_backoff=saved["restart_backoff"],
-            max_backoff=saved["max_backoff"],
-            # .get(): pre-batching checkpoints lack the key.
-            batch_size=saved.get("batch_size", DEFAULT_BATCH_SIZE),
-            checkpoint_path=checkpoint_path,
-            checkpoint_interval=checkpoint_interval,
             faults=faults,
             metrics=metrics,
         )

@@ -74,6 +74,7 @@ import zlib
 from typing import Any, Iterable
 
 from repro.core.collector import CollectorShard, ItemSampler, _splitmix64
+from repro.core.frontier import key_partition
 from repro.core.types import Edge, EdgeStats, Key, Operation, OpType
 from repro.obs.metrics import MetricsRegistry
 
@@ -412,25 +413,15 @@ class ShardedCollector:
     def shard_index(self, key: Key) -> int:
         """The shard owning ``key``.
 
-        Must be stable *across processes*, not just within one —
-        checkpoints store item bookkeeping per shard, and a restore in a
-        new process must look keys up in the same buckets.  Builtin
-        ``hash()`` is randomized per process (PYTHONHASHSEED), so the
-        digest is CRC-of-repr like :meth:`ItemSampler.chosen`.
-
-        Int keys (e.g. interned via
-        :class:`~repro.core.types.KeyInterner`) take a fast path: dense
-        ids bucket perfectly with ``id & mask`` when ``num_shards`` is a
-        power of two, skipping the repr+CRC entirely.  Both paths are
-        process-stable; shard *placement* never affects counts, only
-        contention.
+        Delegates to :func:`repro.core.frontier.key_partition` — the one
+        process-stable placement digest, shared with the cluster router
+        so "which shard owns this key" has exactly one answer whether
+        the shard lives behind a lock in this process or behind a socket
+        in a worker process.  (Checkpoints also rely on the stability:
+        item bookkeeping is stored per shard, and a restore in a new
+        process must look keys up in the same buckets.)
         """
-        if type(key) is int:
-            mask = self._shard_mask
-            if mask is not None:
-                return key & mask
-            return _splitmix64(key) % self.num_shards
-        return _splitmix64(zlib.crc32(repr(key).encode())) % self.num_shards
+        return key_partition(key, self.num_shards, self._shard_mask)
 
     # -- sampling (base sample x degrade filter) ------------------------------
 

@@ -1,13 +1,34 @@
-"""Configuration for the RushMon monitor."""
+"""Configuration for the RushMon monitor family.
+
+:class:`RushMonConfig` is the **single construction path** for every
+monitor flavour: the serial :class:`~repro.core.monitor.RushMon` reads
+the sampling/detector fields, the concurrent
+:class:`~repro.core.concurrent.RushMonService` additionally reads the
+service fields (``num_shards`` … ``checkpoint_interval``), and the
+multi-process :class:`~repro.cluster.ClusterMonitor` reads the cluster
+fields (``num_workers``, ``cluster_batch``).  Fields a flavour does not
+use are simply ignored, so one config object can describe a whole
+deployment.  Constructing the service with loose keyword arguments
+(``RushMonService(cfg, num_shards=4)``) still works but is deprecated —
+see :meth:`~repro.core.concurrent.RushMonService.__init__`.
+"""
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
+
+#: Default ops per ingest/detect batch (service) — mirrored as
+#: ``repro.core.concurrent.service.DEFAULT_BATCH_SIZE``.
+DEFAULT_BATCH_SIZE = 256
+
+#: Default ops buffered per worker before the cluster router flushes.
+DEFAULT_CLUSTER_BATCH = 512
 
 
 @dataclass
 class RushMonConfig:
-    """Tunables for :class:`~repro.core.monitor.RushMon`.
+    """Tunables for :class:`~repro.core.monitor.RushMon` and friends.
 
     Attributes
     ----------
@@ -30,6 +51,26 @@ class RushMonConfig:
         Disable to monitor only 2-cycles.
     seed:
         Seed for all of the monitor's internal randomness.
+    num_shards:
+        Service: key-hash partitions of the concurrent collector.
+    detect_interval:
+        Service: seconds between background detection passes.
+    journal_capacity / overflow / block_timeout:
+        Service: bounded-journal backpressure (see
+        :class:`~repro.core.concurrent.sharded.ShardedCollector`).
+    max_restarts / restart_backoff / max_backoff:
+        Service: detection-thread supervision schedule.
+    batch_size:
+        Service: ops per ingest/detect batch.
+    checkpoint_path / checkpoint_interval:
+        Service: periodic crash-consistent checkpointing.
+    num_workers:
+        Cluster: worker *processes*, each owning a key partition of
+        the collector+detector (see :mod:`repro.cluster`).
+    cluster_batch:
+        Cluster: ops buffered per worker before the router flushes a
+        frame to every worker (batching amortizes framing; every
+        flush also advances the cross-worker watermarks).
     """
 
     sampling_rate: int = 20
@@ -39,9 +80,59 @@ class RushMonConfig:
     resample_interval: int | None = None
     count_three_cycles: bool = True
     seed: int = 0
+    # -- service (repro.core.concurrent.RushMonService) ----------------
+    num_shards: int = 8
+    detect_interval: float = 0.05
+    journal_capacity: int | None = None
+    overflow: str = "block"
+    block_timeout: float = 5.0
+    max_restarts: int = 5
+    restart_backoff: float = 0.05
+    max_backoff: float = 2.0
+    batch_size: int = DEFAULT_BATCH_SIZE
+    checkpoint_path: str | None = None
+    checkpoint_interval: int | None = None
+    # -- cluster (repro.cluster.ClusterMonitor) ------------------------
+    num_workers: int = 4
+    cluster_batch: int = DEFAULT_CLUSTER_BATCH
 
     #: Valid ``pruning`` strategies (mirrors repro.core.pruning.make_pruner).
     PRUNING_CHOICES = ("none", "ect", "distance", "both")
+
+    @classmethod
+    def from_cli_args(cls, args: argparse.Namespace) -> "RushMonConfig":
+        """Build a config from an ``argparse`` namespace.
+
+        Understands the flag names the CLI uses (``--sampling-rate``,
+        ``--no-mob``, ``--shards``, ``--workers`` …); flags absent from
+        the namespace fall back to the dataclass defaults, so every
+        subcommand — whichever argument groups it registered — goes
+        through this one path.
+        """
+        defaults = cls()
+
+        def pick(attr: str, default):
+            value = getattr(args, attr, None)
+            return default if value is None else value
+
+        return cls(
+            sampling_rate=pick("sampling_rate", defaults.sampling_rate),
+            mob=not getattr(args, "no_mob", False),
+            pruning=pick("pruning", defaults.pruning),
+            seed=pick("seed", defaults.seed),
+            resample_interval=getattr(args, "resample_interval", None),
+            num_shards=pick("shards", defaults.num_shards),
+            detect_interval=pick("detect_interval", defaults.detect_interval),
+            journal_capacity=getattr(args, "journal_capacity", None),
+            overflow=pick("overflow", defaults.overflow),
+            max_restarts=pick("max_restarts", defaults.max_restarts),
+            batch_size=pick("batch_size", defaults.batch_size),
+            checkpoint_path=getattr(args, "checkpoint", None),
+            # --workers 0 means "no cluster" on the CLI; keep the config
+            # default so the value always validates.
+            num_workers=getattr(args, "workers", None)
+            or defaults.num_workers,
+        )
 
     def __post_init__(self) -> None:
         if not isinstance(self.sampling_rate, int) or isinstance(
@@ -85,4 +176,43 @@ class RushMonConfig:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ValueError(
                 f"seed must be an int, got {type(self.seed).__name__}"
+            )
+        # -- service fields (validated here so RushMonService can trust
+        # -- any config object it is handed) -----------------------------
+        if self.detect_interval <= 0:
+            raise ValueError("detect_interval must be > 0")
+        if not isinstance(self.batch_size, int) or isinstance(
+            self.batch_size, bool
+        ) or self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be an integer >= 1 (ops per shard-lock "
+                f"acquisition on ingest and per detector feed on the "
+                f"detection pass), got {self.batch_size!r}; the default "
+                f"{DEFAULT_BATCH_SIZE} suits most workloads"
+            )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.restart_backoff <= 0 or self.max_backoff <= 0:
+            raise ValueError("restart_backoff and max_backoff must be > 0")
+        if self.checkpoint_interval is not None:
+            if self.checkpoint_interval < 1:
+                raise ValueError("checkpoint_interval must be >= 1 passes")
+            if self.checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_interval needs a checkpoint_path to write to"
+                )
+        # -- cluster fields ----------------------------------------------
+        if not isinstance(self.num_workers, int) or isinstance(
+            self.num_workers, bool
+        ) or self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be an integer >= 1 worker process, got "
+                f"{self.num_workers!r}"
+            )
+        if not isinstance(self.cluster_batch, int) or isinstance(
+            self.cluster_batch, bool
+        ) or self.cluster_batch < 1:
+            raise ValueError(
+                f"cluster_batch must be an integer >= 1 ops buffered per "
+                f"worker between router flushes, got {self.cluster_batch!r}"
             )

@@ -204,6 +204,30 @@ class CycleDetector:
             total.add(self.add_edge(edge))
         return total
 
+    def add_edge_uncounted(self, edge: Edge) -> bool:
+        """Insert one edge into the live graph **without counting** the
+        cycles it closes (no :attr:`counts` or pattern mutation).
+
+        This is the cluster's foreign-edge path (:mod:`repro.cluster`):
+        every worker mirrors its peers' edges so the graph each worker
+        sees is the full serial graph — and therefore its *own* edges
+        close exactly the cycles the serial monitor would attribute to
+        them — while cycle ownership stays with the worker whose shard
+        derived the closing edge, so the per-worker counts partition
+        the serial counts exactly.  The prune clock advances just like
+        :meth:`add_edge`, keeping graph evolution identical to a serial
+        monitor ingesting the same edge order.
+
+        Returns whether the edge was new (mirrors
+        :meth:`LiveGraph.add_edge`).
+        """
+        if not self.graph.add_edge(edge.src, edge.dst, edge.label, edge.kind):
+            return False
+        self._edges_since_prune += 1
+        if self.pruner is not None and self._edges_since_prune >= self.prune_interval:
+            self.prune(now=edge.seq)
+        return True
+
     def add_edge_batch(self, edges) -> CycleCounts:
         """Batched :meth:`add_edge`: ingest a sequence of edges, returning
         the new cycles they closed as one aggregate.

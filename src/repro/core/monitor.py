@@ -19,6 +19,7 @@ branch on monitor flavour.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 from repro.core.collector import BaselineCollector, DataCentricCollector
@@ -125,7 +126,7 @@ class RushMon:
     ...            Operation(OpType.WRITE, 2, "x", 4)]:
     ...     mon.on_operation(op)
     >>> mon.commit_buu(1, 5); mon.commit_buu(2, 5)
-    >>> report = mon.report()
+    >>> report = mon.close_window()
     >>> report.estimated_2  # the classic lost update: one 2-cycle
     1.0
     """
@@ -222,12 +223,20 @@ class RushMon:
         return rep
 
     def report(self, now: int | None = None) -> AnomalyReport:
-        """Alias of :meth:`close_window`, kept for backward
-        compatibility.
+        """Deprecated alias of :meth:`close_window`.
 
-        .. deprecated:: use :meth:`close_window` — the verb every
-           monitor shares (see :mod:`repro.core.api`).
+        .. deprecated:: 1.0
+           Call :meth:`close_window` — the verb every monitor shares
+           (see :mod:`repro.core.api`).  This alias warns now and will
+           be removed in the next release.
         """
+        warnings.warn(
+            "RushMon.report() is deprecated; call close_window() instead "
+            "(the canonical AnomalyMonitor verb, see repro.core.api). "
+            "report() will be removed in the next release.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.close_window(now)
 
     def latest_report(self) -> AnomalyReport | None:

@@ -147,7 +147,7 @@ class AsyncTrainer:
             self.simulator.run(self._round_buus())
             buus_total += self.batch_per_round
             loss = self.current_loss()
-            report = self.monitor.report(self.simulator.now)
+            report = self.monitor.close_window(self.simulator.now)
             result.rounds.append(
                 RoundRecord(
                     round_index=round_index,

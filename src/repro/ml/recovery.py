@@ -107,7 +107,7 @@ class RecoveringTrainer:
             trainer.simulator.config.staleness_bound = self.bound
             start_time = trainer.simulator.now
             trainer.simulator.run(trainer._round_buus())
-            report = trainer.monitor.report(trainer.simulator.now)
+            report = trainer.monitor.close_window(trainer.simulator.now)
             window = max(1, trainer.simulator.now - start_time)
             rate = report.anomalies / window
             loss = trainer.current_loss()

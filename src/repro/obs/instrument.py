@@ -19,6 +19,7 @@ from typing import Any
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
+    "instrument_cluster_monitor",
     "instrument_detector",
     "instrument_net_client",
     "instrument_net_server",
@@ -184,4 +185,38 @@ def instrument_net_client(registry: MetricsRegistry, client: Any) -> None:
         "rushmon_net_client_unacked_batches",
         lambda: float(client.unacked_batches),
         help="batches sent but not yet acknowledged",
+    )
+
+
+def instrument_cluster_monitor(registry: MetricsRegistry,
+                               cluster: Any) -> None:
+    """Export a :class:`~repro.cluster.ClusterMonitor`'s router-side
+    readings.  Worker-internal counters live in the worker processes
+    and surface through the merged window reports instead; everything
+    observable from the router is a lazy callback gauge, so the
+    ingestion hot path pays nothing."""
+    registry.gauge_fn(
+        "rushmon_cluster_workers",
+        lambda: float(cluster.num_workers),
+        help="worker processes the cluster routes over",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_ops_routed_total",
+        lambda: float(cluster.ops_routed),
+        help="operations key-hashed to a worker shard",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_lifecycle_broadcasts_total",
+        lambda: float(cluster.lifecycle_broadcasts),
+        help="BUU begin/commit events broadcast to every worker",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_router_flushes_total",
+        lambda: float(cluster.router_flushes),
+        help="route-frame flushes shipped to the worker set",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_reports_total",
+        lambda: float(len(cluster.reports)),
+        help="cluster-wide monitoring windows closed so far",
     )

@@ -2,7 +2,8 @@
 
 One parametrized suite drives the serial :class:`RushMon`, the
 concurrent :class:`RushMonService` (unstarted — ``close_window`` runs
-the detection pass inline) and the exact
+the detection pass inline), the multi-process :class:`ClusterMonitor`
+(two real worker processes) and the exact
 :class:`OfflineAnomalyMonitor` through the *protocol only*: lifecycle
 events, operations, window closes, report access.  If a monitor flavour
 drifts from the contract in :mod:`repro.core.api`, this file is where
@@ -11,6 +12,7 @@ it fails.
 
 import pytest
 
+from repro.cluster import ClusterMonitor
 from repro.core.api import AnomalyMonitor, MonitorListener
 from repro.core.concurrent import RushMonService
 from repro.core.config import RushMonConfig
@@ -31,9 +33,29 @@ def _offline():
     return OfflineAnomalyMonitor()
 
 
+#: Clusters spawned by the factory below, stopped after each test (the
+#: workers are daemon processes, but tests should not leak them).
+_SPAWNED_CLUSTERS: list[ClusterMonitor] = []
+
+
+def _cluster():
+    monitor = ClusterMonitor(
+        RushMonConfig(sampling_rate=1, mob=False, num_workers=2))
+    _SPAWNED_CLUSTERS.append(monitor)
+    return monitor
+
+
+@pytest.fixture(autouse=True)
+def _stop_spawned_clusters():
+    yield
+    while _SPAWNED_CLUSTERS:
+        _SPAWNED_CLUSTERS.pop().stop()
+
+
 MONITORS = [
     pytest.param(_serial, id="serial"),
     pytest.param(_service, id="service"),
+    pytest.param(_cluster, id="cluster"),
     pytest.param(_offline, id="offline"),
 ]
 
@@ -99,23 +121,50 @@ def test_windows_partition_the_stream(make):
     assert monitor.cumulative_estimates()[0] == 1.0
 
 
-def test_serial_report_alias_matches_close_window():
-    """RushMon.report() is a documented thin alias of close_window()."""
+def test_serial_report_alias_warns_and_matches_close_window():
+    """RushMon.report() still aliases close_window() but now warns; it
+    is scheduled for removal."""
     monitor = _serial()
     _lost_update(monitor)
-    report = monitor.report()
+    with pytest.warns(DeprecationWarning, match="close_window"):
+        report = monitor.report()
     assert monitor.reports == [report]
     assert report.estimated_2 == 1.0
 
 
-def test_service_flush_alias_matches_close_window():
-    """RushMonService.flush() is a documented thin alias of close_window()."""
+def test_service_flush_alias_warns_and_matches_close_window():
+    """RushMonService.flush() still aliases close_window() but now
+    warns; it is scheduled for removal."""
     service = _service()
     _lost_update(service)
-    report = service.flush()
+    with pytest.warns(DeprecationWarning, match="close_window"):
+        report = service.flush()
     assert report is not None
     assert service.reports == [report]
     assert report.estimated_2 == 1.0
+
+
+def test_service_construction_kwargs_warn_but_apply():
+    """The pre-config construction kwargs still work for one release —
+    with a DeprecationWarning — and override the config's values."""
+    with pytest.warns(DeprecationWarning, match="RushMonConfig"):
+        service = RushMonService(
+            RushMonConfig(sampling_rate=1, mob=False), num_shards=2
+        )
+    assert service.config.num_shards == 2
+    assert service.collector.num_shards == 2
+
+
+def test_config_is_the_single_construction_path():
+    """Every service tunable is settable through RushMonConfig alone."""
+    config = RushMonConfig(sampling_rate=1, mob=False, num_shards=3,
+                           detect_interval=1.5, batch_size=64,
+                           max_restarts=2)
+    service = RushMonService(config)
+    assert service.collector.num_shards == 3
+    assert service.detect_interval == 1.5
+    assert service.batch_size == 64
+    assert service.max_restarts == 2
 
 
 def test_service_rejects_resample_interval():

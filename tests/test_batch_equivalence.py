@@ -362,16 +362,16 @@ def test_rushmon_on_operations_matches_per_op(batch):
 
 
 def test_service_batch_size_validation():
-    config = RushMonConfig()
     with pytest.raises(ValueError, match="batch_size"):
-        RushMonService(config, batch_size=0)
+        RushMonConfig(batch_size=0)
     with pytest.raises(ValueError, match="batch_size"):
-        RushMonService(config, batch_size="16")
+        RushMonConfig(batch_size="16")
 
 
 def test_service_checkpoint_round_trips_batch_size(tmp_path):
-    config = RushMonConfig(sampling_rate=1, seed=0)
-    service = RushMonService(config, num_shards=2, batch_size=7)
+    config = RushMonConfig(sampling_rate=1, seed=0, num_shards=2,
+                           batch_size=7)
+    service = RushMonService(config)
     ops = [Operation(OpType.WRITE if i % 2 else OpType.READ,
                      buu=i % 4, key=f"k{i % 8}", seq=i + 1)
            for i in range(64)]
@@ -399,8 +399,9 @@ def test_service_batched_ingest_matches_unbatched(batch_size):
     history = random_history(11)
     results = []
     for size in (batch_size, 10_000):
-        service = RushMonService(RushMonConfig(sampling_rate=1, seed=0),
-                                 num_shards=4, batch_size=size)
+        service = RushMonService(RushMonConfig(sampling_rate=1, seed=0,
+                                               num_shards=4,
+                                               batch_size=size))
         last_index = {op.buu: i for i, op in enumerate(history)}
         begun = set()
         for i, op in enumerate(history):

@@ -53,11 +53,11 @@ def _ops(count, num_keys, seed):
 def _service(faults=None, **kwargs):
     kwargs.setdefault("num_shards", 4)
     kwargs.setdefault("detect_interval", 0.003)
-    kwargs.setdefault("record_trace", True)
+    record_trace = kwargs.pop("record_trace", True)
     return RushMonService(
-        RushMonConfig(sampling_rate=1, mob=False, seed=42),
+        RushMonConfig(sampling_rate=1, mob=False, seed=42, **kwargs),
         faults=faults,
-        **kwargs,
+        record_trace=record_trace,
     )
 
 
@@ -216,8 +216,8 @@ def test_degrade_overflow_raises_sampling_rate_and_records_it():
     rate rises (recorded, and reflected in sampling_probability so the
     estimator stays calibrated) and recovers once drains come up light."""
     service = RushMonService(
-        RushMonConfig(sampling_rate=1, mob=False, seed=7),
-        num_shards=2, journal_capacity=16, overflow="degrade",
+        RushMonConfig(sampling_rate=1, mob=False, seed=7, num_shards=2,
+                      journal_capacity=16, overflow="degrade"),
         record_trace=True,
     )
     for op in _ops(400, 64, seed=13):

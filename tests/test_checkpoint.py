@@ -57,7 +57,7 @@ def _run_split(config, events, split, ckpt_path, close_before_checkpoint):
     """First half into service A, checkpoint, 'kill' A, restore into B,
     feed the rest, final close.  Returns B."""
     first, second = events[:split], events[split:]
-    svc = RushMonService(config, num_shards=4, record_trace=True)
+    svc = RushMonService(config, record_trace=True)
     _feed(svc, first)
     if close_before_checkpoint:
         svc.close_window()
@@ -75,13 +75,13 @@ def test_restore_matches_uninterrupted_run_sr1(tmp_path,
                                                close_before_checkpoint):
     """Kill/restore at sr=1 (with and without pending journal events in
     the snapshot) reproduces the uninterrupted run's window counts."""
-    config = RushMonConfig(sampling_rate=1, mob=False, seed=3)
+    config = RushMonConfig(sampling_rate=1, mob=False, seed=3, num_shards=4)
     events = _stream(600, 24, seed=17)
     restored = _run_split(config, events, split=330,
                           ckpt_path=tmp_path / "svc.ckpt",
                           close_before_checkpoint=close_before_checkpoint)
 
-    baseline = RushMonService(config, num_shards=4, record_trace=True)
+    baseline = RushMonService(config, record_trace=True)
     _feed(baseline, events)
     baseline.close_window()
 
@@ -103,13 +103,13 @@ def test_restore_matches_uninterrupted_run_sampled_mob(tmp_path):
     """With sr>1 and MOB, restore must also carry the sampler and the
     reservoir RNG: the restored run's sampled counts stay bit-identical
     to the uninterrupted run's, not merely statistically close."""
-    config = RushMonConfig(sampling_rate=4, mob=True, seed=11)
+    config = RushMonConfig(sampling_rate=4, mob=True, seed=11, num_shards=4)
     events = _stream(800, 48, seed=29)
     restored = _run_split(config, events, split=377,
                           ckpt_path=tmp_path / "svc.ckpt",
                           close_before_checkpoint=True)
 
-    baseline = RushMonService(config, num_shards=4, record_trace=True)
+    baseline = RushMonService(config, record_trace=True)
     _feed(baseline, events)
     baseline.close_window()
 
@@ -123,8 +123,8 @@ def test_restore_matches_uninterrupted_run_sampled_mob(tmp_path):
 
 
 def test_restore_preserves_reports_and_latest(tmp_path):
-    config = RushMonConfig(sampling_rate=1, mob=False, seed=5)
-    svc = RushMonService(config, num_shards=2, record_trace=True)
+    config = RushMonConfig(sampling_rate=1, mob=False, seed=5, num_shards=2)
+    svc = RushMonService(config, record_trace=True)
     _feed(svc, _stream(200, 12, seed=7))
     svc.close_window()
     path = svc.checkpoint(str(tmp_path / "svc.ckpt"))
@@ -140,10 +140,10 @@ def test_periodic_checkpointing_and_stop_checkpoint(tmp_path):
     writes a final snapshot that restores to the stopped service's
     exact final state."""
     path = tmp_path / "auto.ckpt"
-    config = RushMonConfig(sampling_rate=1, mob=False, seed=9)
-    svc = RushMonService(config, num_shards=2, detect_interval=0.003,
-                         record_trace=True, checkpoint_path=str(path),
-                         checkpoint_interval=1)
+    config = RushMonConfig(sampling_rate=1, mob=False, seed=9,
+                           num_shards=2, detect_interval=0.003,
+                           checkpoint_path=str(path), checkpoint_interval=1)
+    svc = RushMonService(config, record_trace=True)
     with svc:
         _feed(svc, _stream(300, 16, seed=23))
         import time
@@ -158,8 +158,8 @@ def test_periodic_checkpointing_and_stop_checkpoint(tmp_path):
 
 def test_corrupt_or_foreign_checkpoints_are_rejected(tmp_path):
     path = tmp_path / "svc.ckpt"
-    svc = RushMonService(RushMonConfig(sampling_rate=1, mob=False),
-                         num_shards=2)
+    svc = RushMonService(RushMonConfig(sampling_rate=1, mob=False,
+                                       num_shards=2))
     svc.on_operation(Operation(OpType.WRITE, 1, "x", 1))
     svc.checkpoint(str(path))
 
@@ -220,10 +220,10 @@ def feed(svc, events):
             svc.begin_buu(*payload)
 
 mode, path = sys.argv[1], sys.argv[2]
-config = RushMonConfig(sampling_rate=1, mob=False, seed=3)
+config = RushMonConfig(sampling_rate=1, mob=False, seed=3, num_shards=4)
 events = stream(400, 20, seed=17)
 if mode == "save":
-    svc = RushMonService(config, num_shards=4, record_trace=True)
+    svc = RushMonService(config, record_trace=True)
     feed(svc, events[:220])
     svc.checkpoint(path)
 else:  # restore
@@ -233,7 +233,7 @@ else:  # restore
     replayed = OfflineAnomalyMonitor()
     svc.serialized_trace().replay([replayed])
     assert replayed.exact_counts() == svc.counts(), "differential broken"
-    baseline = RushMonService(config, num_shards=4, record_trace=True)
+    baseline = RushMonService(config, record_trace=True)
     feed(baseline, events)
     baseline.close_window()
     assert svc.counts() == baseline.counts(), "diverged from uninterrupted"

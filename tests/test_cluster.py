@@ -1,0 +1,273 @@
+"""The multi-process monitor cluster: unit tests + differential sweeps.
+
+The differential is the cluster's acceptance gate: at ``sr=1``/
+``mob=False`` a :class:`ClusterMonitor` must be **bit-exact** against
+both the serial monitor and the independent exact checkers
+(:mod:`repro.checkers`) on every paper workload — with 2 and with 4
+workers.  One spawned cluster per worker count is reused across seeds
+via :meth:`ClusterMonitor.reset` (tickets and watermarks stay monotone,
+so the reuse itself exercises the reset path).
+
+The tier-1 run covers a smoke subset of seeds; the full ``>= 20`` seed
+sweep carries the ``oracle`` mark (CI's oracle job).  Everything in
+this file also carries the ``cluster`` mark for CI's dedicated cluster
+job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import exact_cycle_counts
+from repro.cluster import ClusterMonitor
+from repro.core.concurrent.sharded import ShardedCollector
+from repro.core.config import RushMonConfig
+from repro.core.frontier import (
+    FRONTIER_VERSION,
+    FrontierVersionError,
+    decode_frontier,
+    encode_frontier,
+    key_partition,
+)
+from repro.core.types import Edge, EdgeType, Operation, OpType
+
+from tests.histgen import feed_with_lifecycle
+from tests.test_checkers_differential import (
+    WORKLOADS,
+    monitor_counts,
+    workload_history,
+)
+
+pytestmark = pytest.mark.cluster
+
+CLUSTER_FULL_SEEDS = range(20)
+CLUSTER_SMOKE_SEEDS = (0, 13)
+
+
+# -- frontier / partition units ------------------------------------------------
+
+
+def test_frontier_roundtrip():
+    groups = [
+        (7, [Edge(1, 2, EdgeType.WW, "x", 5), Edge(2, 3, EdgeType.RW, 9, 6)]),
+        (9, []),
+    ]
+    payload = encode_frontier(groups)
+    assert payload["v"] == FRONTIER_VERSION
+    decoded, sampler_state = decode_frontier(payload)
+    assert decoded == groups
+    assert sampler_state is None
+
+
+def test_frontier_carries_sampler_state():
+    from repro.core.collector import ItemSampler
+
+    sampler = ItemSampler(4, seed=3)
+    _, state = decode_frontier(encode_frontier([], sampler))
+    restored = ItemSampler(1)
+    restored.load_state(state)
+    for key in ("a", "b", 1, 17, "zz"):
+        assert restored.chosen(key) == sampler.chosen(key)
+
+
+def test_frontier_version_mismatch_refused():
+    payload = encode_frontier([])
+    payload["v"] = FRONTIER_VERSION + 1
+    with pytest.raises(FrontierVersionError):
+        decode_frontier(payload)
+
+
+def test_route_wire_roundtrip_and_validation():
+    """``decode_route_events`` is the reference decoder for the route
+    wire records (the worker fuses its own copy of this loop into the
+    batch-collect path)."""
+    from repro.cluster import messages as msg
+
+    op = Operation(OpType.READ, 3, "k", 7)
+    records = [msg.wire_op(op, 10), msg.wire_begin(4, 11, 11),
+               msg.wire_commit(4, 12, 12)]
+    assert msg.decode_route_events(records) == [
+        ("op", 10, op), ("b", 11, 4, 11), ("c", 12, 4, 12)]
+    with pytest.raises(msg.ProtocolError):
+        msg.decode_route_events([["?", 1, 2, 3]])
+    with pytest.raises(msg.ProtocolError):
+        msg.decode_route_events([["r", 1]])
+
+
+def _collect_per_op(worker, records):
+    """The per-op reference for ``_collect_route_events``: one
+    ``collector.handle`` call per wire record, in order."""
+    from repro.cluster import messages as msg
+
+    groups, batch = [], []
+    for event in msg.decode_route_events(records):
+        if event[0] == "op":
+            _, ticket, op = event
+            derived = worker.collector.handle(op)
+            batch.append((ticket, "o", op, derived))
+            if derived:
+                groups.append((ticket, derived))
+        else:
+            kind, ticket, buu, when = event
+            batch.append((ticket, kind, buu, when))
+    return groups, batch
+
+
+def _norm_batch(batch):
+    return [(e[0], e[1], e[2], list(e[3])) if e[1] == "o"
+            else (e[0], e[1], e[2], e[3]) for e in batch]
+
+
+def test_worker_batch_collection_matches_per_op():
+    """The worker's batch-collect fast path (handle_batch + regroup by
+    ``(key, seq)``) must yield exactly the per-op groups — including a
+    frame that repeats a ``(key, seq)`` pair, which must take the
+    per-op fallback rather than merging two operations' edges."""
+    from repro.cluster import messages as msg
+    from repro.cluster.worker import ClusterWorker
+
+    def build():
+        return ClusterWorker(0, 2, RushMonConfig(
+            sampling_rate=1, mob=False, seed=1, num_workers=2))
+
+    records, ticket, seq = [], 0, 0
+    for buu in range(6):
+        ticket += 1
+        records.append(msg.wire_begin(buu, seq, ticket))
+        for i in range(8):
+            seq += 1
+            ticket += 1
+            op = Operation(OpType.READ if i % 2 else OpType.WRITE,
+                           buu, f"k{(buu + i) % 5}", seq)
+            records.append(msg.wire_op(op, ticket))
+        seq += 1
+        ticket += 1
+        records.append(msg.wire_commit(buu, seq, ticket))
+
+    groups_fast, batch_fast = build()._collect_route_events(records)
+    groups_ref, batch_ref = _collect_per_op(build(), records)
+    assert groups_fast == groups_ref
+    assert _norm_batch(batch_fast) == _norm_batch(batch_ref)
+
+    # Two operations sharing (key, seq) in one frame: the regroup would
+    # be ambiguous, so the frame must fall back to per-op collection.
+    dup_records = [
+        msg.wire_begin(0, 0, 1),
+        msg.wire_begin(1, 0, 2),
+        msg.wire_op(Operation(OpType.WRITE, 0, "k", 5), 3),
+        msg.wire_op(Operation(OpType.READ, 1, "k", 5), 4),
+    ]
+    groups_fast, batch_fast = build()._collect_route_events(dup_records)
+    groups_ref, batch_ref = _collect_per_op(build(), dup_records)
+    assert groups_fast == groups_ref
+    assert _norm_batch(batch_fast) == _norm_batch(batch_ref)
+
+
+def test_key_partition_agrees_with_sharded_collector():
+    """The cluster router and the in-process sharded collector must
+    place every key identically (one placement digest, one owner)."""
+    collector = ShardedCollector(num_shards=4)
+    keys = [0, 1, 5, 1 << 40, -3, "x", "key-17", (), 3.5]
+    for key in keys:
+        assert collector.shard_index(key) == key_partition(key, 4, mask=3)
+    collector3 = ShardedCollector(num_shards=3)
+    for key in keys:
+        assert collector3.shard_index(key) == key_partition(key, 3)
+
+
+# -- facade contract -----------------------------------------------------------
+
+
+def test_cluster_rejects_resample_interval():
+    with pytest.raises(ValueError, match="resample_interval"):
+        ClusterMonitor(RushMonConfig(sampling_rate=4, resample_interval=10))
+
+
+def test_reset_cannot_change_worker_count():
+    monitor = ClusterMonitor(RushMonConfig(num_workers=2))
+    with pytest.raises(ValueError, match="num_workers"):
+        monitor.reset(RushMonConfig(num_workers=4))
+    monitor.stop()
+
+
+def test_stop_is_idempotent_and_refuses_further_ingestion():
+    monitor = ClusterMonitor(
+        RushMonConfig(sampling_rate=1, mob=False, num_workers=2))
+    monitor.on_operation(Operation(OpType.WRITE, 1, "x", 1))
+    assert monitor.close_window().operations == 1
+    monitor.stop()
+    monitor.stop()
+    with pytest.raises(RuntimeError, match="stopped"):
+        monitor.on_operation(Operation(OpType.WRITE, 1, "x", 2))
+
+
+def test_worker_death_surfaces_as_runtime_error():
+    monitor = ClusterMonitor(
+        RushMonConfig(sampling_rate=1, mob=False, num_workers=2))
+    monitor.on_operation(Operation(OpType.WRITE, 1, "x", 1))
+    victim = monitor._links[0].proc
+    victim.terminate()
+    victim.join(timeout=10)
+    with pytest.raises(RuntimeError, match="worker 0"):
+        # The dead worker can no longer reach the barrier; the facade
+        # must fail loudly, never publish a silently partial window.
+        monitor.close_window()
+    monitor.stop()
+
+
+# -- differential: bit-exact against serial and the exact checkers -------------
+
+
+@pytest.fixture(scope="module", params=[2, 4], ids=["workers2", "workers4"])
+def cluster(request):
+    monitor = ClusterMonitor(RushMonConfig(
+        sampling_rate=1, mob=False, num_workers=request.param))
+    yield monitor
+    monitor.stop()
+
+
+def _assert_cluster_bit_exact(cluster: ClusterMonitor, workload: str,
+                              seed: int) -> None:
+    cluster.reset(RushMonConfig(sampling_rate=1, mob=False, seed=seed,
+                                num_workers=cluster.num_workers))
+    history = workload_history(workload, seed)
+    serial = monitor_counts(history)
+    feed_with_lifecycle([cluster], history)
+    exact = exact_cycle_counts(history)
+    assert cluster.counts() == serial.detector.counts == exact
+    assert cluster.cumulative_estimates() == serial.cumulative_estimates()
+    # The merged window report must equal the serial one field-for-field
+    # (raw counts, edge stats, op totals, patterns, window bounds).
+    assert cluster.close_window() == serial.close_window()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("seed", CLUSTER_SMOKE_SEEDS)
+def test_cluster_sr1_bit_exact_smoke(cluster, workload, seed):
+    """Tier-1 subset (the oracle/cluster jobs run all 20 seeds)."""
+    _assert_cluster_bit_exact(cluster, workload, seed)
+
+
+@pytest.mark.oracle
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("seed", CLUSTER_FULL_SEEDS)
+def test_cluster_sr1_bit_exact_full_sweep(cluster, workload, seed):
+    """The acceptance sweep: all three paper workloads x 20 seeds x
+    {2, 4} workers, merged cluster counts equal to the serial monitor
+    and the independent exact checker."""
+    _assert_cluster_bit_exact(cluster, workload, seed)
+
+
+@pytest.mark.parametrize("seed", (1, 9))
+def test_cluster_sampled_run_matches_serial(seed):
+    """Sampling composes with sharding: at sr=4 (mob off, pure per-key
+    sampler) the cluster's cumulative counts still equal the serial
+    monitor's bit-for-bit — workers sample the same items the serial
+    collector would."""
+    with ClusterMonitor(RushMonConfig(sampling_rate=4, mob=False, seed=seed,
+                                      num_workers=4)) as cluster:
+        history = workload_history("ycsb", seed)
+        serial = monitor_counts(history, sampling_rate=4, seed=seed)
+        feed_with_lifecycle([cluster], history)
+        assert cluster.counts() == serial.detector.counts
+        assert cluster.cumulative_estimates() == serial.cumulative_estimates()

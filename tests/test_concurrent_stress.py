@@ -47,9 +47,8 @@ def _run_stress(num_threads, ops_per_thread, num_keys, seed):
     num_buus = num_threads * ops_per_thread // (2 * touch)
     workload = _workload(num_buus, num_keys, touch, seed)
     service = RushMonService(
-        RushMonConfig(sampling_rate=1, mob=False, pruning="both", seed=seed),
-        num_shards=8,
-        detect_interval=0.005,
+        RushMonConfig(sampling_rate=1, mob=False, pruning="both", seed=seed,
+                      num_shards=8, detect_interval=0.005),
         record_trace=True,
     )
     driver = ThreadedWorkloadDriver(
@@ -110,8 +109,9 @@ def test_stress_small_shard_count():
     invariants must not depend on shard granularity."""
     workload = _workload(400, 32, 3, seed=7)
     service = RushMonService(
-        RushMonConfig(sampling_rate=1, mob=False, seed=7),
-        num_shards=1, detect_interval=0.005, record_trace=True,
+        RushMonConfig(sampling_rate=1, mob=False, seed=7, num_shards=1,
+                      detect_interval=0.005),
+        record_trace=True,
     )
     driver = ThreadedWorkloadDriver([service], num_threads=4, seed=7,
                                     yield_every=5, join_timeout=60.0)
@@ -125,8 +125,8 @@ def test_stress_sampled_and_mob():
     (counts are sampled, so no exactness claim — that is sr=1's job)."""
     workload = _workload(600, 64, 4, seed=13)
     service = RushMonService(
-        RushMonConfig(sampling_rate=4, mob=True, seed=13),
-        num_shards=8, detect_interval=0.005,
+        RushMonConfig(sampling_rate=4, mob=True, seed=13, num_shards=8,
+                      detect_interval=0.005),
     )
     driver = ThreadedWorkloadDriver([service], num_threads=8, seed=13,
                                     yield_every=11, join_timeout=60.0)
@@ -187,5 +187,5 @@ def test_service_stop_is_idempotent_and_terminal():
     with pytest.raises(RuntimeError, match="stopped"):
         service.on_operation(Operation(OpType.WRITE, 2, "x", 2))
     with pytest.raises(RuntimeError, match="stopped"):
-        service.flush()
+        service.close_window()
     assert service.processed_events == first

@@ -62,12 +62,11 @@ def test_service_sr1_matches_offline(seed):
     history = random_history(seed)
     exact = exact_counts(history)
     service = RushMonService(
-        RushMonConfig(sampling_rate=1, mob=False),
-        num_shards=4,
+        RushMonConfig(sampling_rate=1, mob=False, num_shards=4),
         record_trace=True,
     )
     feed_with_lifecycle([service], history)
-    service.flush()
+    service.close_window()
     assert service.counts() == exact
 
     replayed = OfflineAnomalyMonitor()

@@ -91,7 +91,7 @@ class TestFullStack:
         total_from_windows = 0.0
         for _ in range(5):
             sim.run(workload.buus(150))
-            report = monitor.report(sim.now)
+            report = monitor.close_window(sim.now)
             total_from_windows += report.estimated_2
         e2, _ = monitor.cumulative_estimates()
         assert total_from_windows == pytest.approx(e2)

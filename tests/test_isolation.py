@@ -67,7 +67,7 @@ class TestSerializableMode:
             listeners=[mon],
         )
         sim.run([increment([f"k{i % 4}"]) for i in range(200)])
-        report = mon.report(sim.now)
+        report = mon.close_window(sim.now)
         assert report.estimated_2 == 0.0
         assert report.estimated_3 == 0.0
 

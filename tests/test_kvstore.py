@@ -58,7 +58,7 @@ class TestKVStore:
         store.read(2, "x")
         store.write(1, "x", 2)
         store.write(2, "x", 3)
-        report = monitor.report()
+        report = monitor.close_window()
         assert report.estimated_2 == 1.0
         assert report.patterns == {"lost_update": 1}
 

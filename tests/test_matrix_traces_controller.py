@@ -207,6 +207,6 @@ class TestAnomalyController:
             sim.run([read_modify_write(
                 [f"k{k}" for k in rng.sample(range(40), 3)],
                 lambda v: (v or 0) + 1) for _ in range(150)])
-            controller.observe(monitor.report(sim.now))
+            controller.observe(monitor.close_window(sim.now))
         tightened = sum(1 for d in controller.history if d.action == "tighten")
         assert tightened >= 1

@@ -31,7 +31,7 @@ class TestRushMon:
         mon.on_operations(lost_update_ops())
         mon.commit_buu(1, 5)
         mon.commit_buu(2, 5)
-        report = mon.report()
+        report = mon.close_window()
         assert report.estimated_2 == 1.0
         assert report.estimated_3 == 0.0
         assert report.operations == 4
@@ -41,8 +41,8 @@ class TestRushMon:
         mon.begin_buu(1, 0)
         mon.begin_buu(2, 0)
         mon.on_operations(lost_update_ops())
-        first = mon.report()
-        second = mon.report()
+        first = mon.close_window()
+        second = mon.close_window()
         assert first.estimated_2 == 1.0
         assert second.estimated_2 == 0.0
         assert second.operations == 0
@@ -53,7 +53,7 @@ class TestRushMon:
         mon.begin_buu(1, 0)
         mon.begin_buu(2, 0)
         mon.on_operations(lost_update_ops())
-        mon.report()
+        mon.close_window()
         e2, e3 = mon.cumulative_estimates()
         assert e2 == 1.0 and e3 == 0.0
 
@@ -65,20 +65,20 @@ class TestRushMon:
         mon = RushMon(RushMonConfig(sampling_rate=1, mob=False))
         for op in serial_history(programs):
             mon.on_operation(op)
-        report = mon.report()
+        report = mon.close_window()
         assert report.estimated_2 == 0.0
         assert report.estimated_3 == 0.0
 
     def test_reports_accumulate_in_history(self):
         mon = RushMon(RushMonConfig(sampling_rate=1, mob=False))
-        mon.report()
-        mon.report()
+        mon.close_window()
+        mon.close_window()
         assert len(mon.reports) == 2
 
     def test_edges_counted_per_window(self):
         mon = RushMon(RushMonConfig(sampling_rate=1, mob=False))
         mon.on_operations(lost_update_ops())
-        report = mon.report()
+        report = mon.close_window()
         assert report.edges.total > 0
 
     def test_sampled_monitor_estimates_near_truth(self):

@@ -65,11 +65,11 @@ def _ops(count, num_keys, seed):
 def _service(faults=None, **kwargs):
     kwargs.setdefault("num_shards", 2)
     kwargs.setdefault("detect_interval", 0.003)
-    kwargs.setdefault("record_trace", True)
+    record_trace = kwargs.pop("record_trace", True)
     return RushMonService(
-        RushMonConfig(sampling_rate=1, mob=False, seed=42),
+        RushMonConfig(sampling_rate=1, mob=False, seed=42, **kwargs),
         faults=faults,
-        **kwargs,
+        record_trace=record_trace,
     )
 
 

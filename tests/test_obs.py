@@ -273,8 +273,8 @@ class TestServiceMetricsReconcile:
         exactly with the service's own counters — metrics are a parallel
         bookkeeping path over the same event stream."""
         service = RushMonService(
-            RushMonConfig(sampling_rate=1, mob=False, seed=3),
-            num_shards=4, detect_interval=0.005,
+            RushMonConfig(sampling_rate=1, mob=False, seed=3,
+                          num_shards=4, detect_interval=0.005),
         )
         driver = ThreadedWorkloadDriver([service], num_threads=4, seed=3,
                                         yield_every=7, join_timeout=60.0)
@@ -299,8 +299,8 @@ class TestServiceMetricsReconcile:
 
     def test_journal_highwater_and_lock_wait_move(self):
         service = RushMonService(
-            RushMonConfig(sampling_rate=1, mob=False),
-            num_shards=2, detect_interval=10.0,  # passes only on stop
+            RushMonConfig(sampling_rate=1, mob=False, num_shards=2,
+                          detect_interval=10.0),  # passes only on stop
         )
         driver = ThreadedWorkloadDriver([service], num_threads=2, seed=1,
                                         join_timeout=60.0)

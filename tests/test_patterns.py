@@ -149,9 +149,9 @@ class TestMonitorWindows:
             [("w", 0, "x"), ("r", 1, "x"), ("r", 2, "x"),
              ("w", 1, "x"), ("w", 2, "x")]
         ))
-        first = mon.report()
+        first = mon.close_window()
         assert first.patterns == {"lost_update": 1}
-        second = mon.report()
+        second = mon.close_window()
         assert second.patterns == {}
 
     def test_pattern_totals_match_two_cycles(self):

@@ -17,8 +17,8 @@ from repro.testing import Fault
 
 
 def _service(**kwargs):
-    return RushMonService(RushMonConfig(sampling_rate=1, mob=False),
-                          num_shards=2, **kwargs)
+    kwargs.setdefault("num_shards", 2)
+    return RushMonService(RushMonConfig(sampling_rate=1, mob=False, **kwargs))
 
 
 # -- stop() terminality ------------------------------------------------------

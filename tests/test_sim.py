@@ -202,7 +202,7 @@ class TestMonitorIntegration:
                                     prune_interval=50))
         sim = Simulator(SimConfig(num_workers=8, seed=9), listeners=[mon])
         sim.run([increment_buu([f"k{i % 10}"]) for i in range(300)])
-        report = mon.report(sim.now)
+        report = mon.close_window(sim.now)
         assert report.operations == 600  # 300 reads + 300 writes
 
     def test_monitor_matches_offline_unsampled(self):
