@@ -323,15 +323,24 @@ def bench_service(num_threads: int = 8, ops_per_thread: int = 40000,
 
 def bench_cluster(num_threads: int = 8, ops_per_thread: int = 40000,
                   num_keys: int = 4096, sr: int = 4, workers: int = 4,
-                  seed: int = 0, cluster_batch: int = 1024
+                  seed: int = 0, cluster_batch: int = 1024,
+                  kill_respawn: bool = False
                   ) -> tuple[float, float, float]:
     """End-to-end cluster throughput: the same 8-thread workload as
     :func:`bench_service`, fed to a ``workers``-process
     :class:`~repro.cluster.ClusterMonitor` while a closer thread
     snapshots cluster-wide windows.
 
+    With ``kill_respawn`` a worker is SIGKILLed mid-stream, so the
+    measured number includes one supervisor respawn-and-replay — the
+    smoke check that the recovery path survives a real workload (the
+    run must still finish with ``health="ok"``).
+
     Returns (ops/sec, p50 close latency, p99 close latency) in seconds.
     """
+    import os
+    import signal as _signal
+
     from repro.cluster import ClusterMonitor
 
     streams = []
@@ -384,11 +393,19 @@ def bench_cluster(num_threads: int = 8, ops_per_thread: int = 40000,
     close_thread.start()
     for t in threads:
         t.start()
+    if kill_respawn:
+        time.sleep(0.2)
+        victim = cluster._links[0].proc
+        if victim is not None and victim.is_alive():
+            os.kill(victim.pid, _signal.SIGKILL)
     for t in threads:
         t.join()
     done.set()
     close_thread.join()
-    cluster.close_window()
+    final = cluster.close_window()
+    if kill_respawn and final.health != "ok":
+        raise RuntimeError(
+            f"kill-respawn bench ended degraded: {final.degraded_shards}")
     cluster.stop()
     dt = time.perf_counter() - t0
     lat = sorted(pass_lat)

@@ -468,14 +468,16 @@ def _run_cluster_monitor(args: argparse.Namespace) -> int:
     The cluster facade owns no metrics registry, journal or checkpoint —
     those live inside the worker processes — so service-only flags are
     ignored with a warning rather than silently changing meaning.
+    ``--live`` works: it prints the supervisor's per-shard health view
+    (link state + consumed restart budget) alongside router throughput.
     """
+    import threading as _threading
     import time as _time
 
     from repro.cluster import ClusterMonitor
     from repro.sim.scheduler import ThreadedWorkloadDriver
 
     ignored = [flag for flag, given in (
-        ("--live", args.live),
         ("--export-port", args.export_port is not None),
         ("--checkpoint", args.checkpoint is not None),
         ("--oracle", args.oracle),
@@ -486,6 +488,24 @@ def _run_cluster_monitor(args: argparse.Namespace) -> int:
               f"features)", file=sys.stderr)
 
     cluster = ClusterMonitor(RushMonConfig.from_cli_args(args))
+    stop_live = _threading.Event()
+
+    def _live_loop() -> None:
+        while not stop_live.wait(args.interval):
+            shards = cluster.shard_health()
+            if not shards:
+                continue
+            states = " ".join(
+                f"{s['index']}:{s['state']}"
+                + (f"(r{s['restarts']})" if s["restarts"] else "")
+                for s in shards)
+            print(f"[live] ops={cluster.ops_routed} "
+                  f"flushes={cluster.router_flushes} shards {states}",
+                  file=sys.stderr)
+
+    if args.live:
+        _threading.Thread(target=_live_loop, daemon=True,
+                          name="cluster-live").start()
     previous_sigterm = _install_sigterm_as_interrupt()
     interrupted = False
     t0 = _time.perf_counter()
@@ -504,10 +524,17 @@ def _run_cluster_monitor(args: argparse.Namespace) -> int:
         try:
             report = cluster.close_window()
         finally:
+            stop_live.set()
             cluster.stop()
     dt = _time.perf_counter() - t0
+    health = report.health
+    if report.degraded_shards:
+        health += (" (shards "
+                   + ",".join(map(str, report.degraded_shards))
+                   + " lost)")
     print(f"cluster: {args.workers} workers, {report.operations} ops in "
-          f"the final window ({dt:.2f}s wall)")
+          f"the final window ({dt:.2f}s wall), health {health}, "
+          f"{cluster.worker_restarts_total} respawns")
     print(f"last window: est {report.estimated_2:.1f} two-cycles, "
           f"{report.estimated_3:.1f} three-cycles")
     return 0
@@ -730,9 +757,12 @@ def cmd_bench_cluster(args: argparse.Namespace) -> int:
         workers=args.workers,
         seed=args.seed,
         cluster_batch=args.cluster_batch,
+        kill_respawn=args.kill_respawn,
     )
+    suffix = " (one worker SIGKILLed and respawned mid-run)" \
+        if args.kill_respawn else ""
     print(f"cluster ({args.workers} workers, {args.threads} feed threads, "
-          f"{args.threads * args.ops} ops): {rate:,.0f} ops/s")
+          f"{args.threads * args.ops} ops){suffix}: {rate:,.0f} ops/s")
     print(f"close latency: p50 {p50 * 1e3:.1f}ms  p99 {p99 * 1e3:.1f}ms")
     return 0
 
@@ -857,6 +887,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "many worker processes instead of the in-process "
                           "service (0 = in-process; service-only flags are "
                           "ignored in cluster mode)")
+    mon.add_argument("--max-worker-restarts", type=int, default=None,
+                     help="cluster mode: respawn attempts per worker shard "
+                          "before its circuit breaker trips and reports "
+                          "turn DEGRADED")
+    mon.add_argument("--snapshot-interval", type=int, default=None,
+                     help="cluster mode: run a shard snapshot round every N "
+                          "router flushes (default: automatically once a "
+                          "shard's replay journal reaches half capacity)")
+    mon.add_argument("--replay-journal-capacity", type=int, default=None,
+                     help="cluster mode: per-shard replay-journal bound that "
+                          "triggers automatic snapshot rounds")
     mon.set_defaults(func=cmd_monitor)
 
     srv = sub.add_parser(
@@ -976,6 +1017,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="events buffered per worker before a route "
                            "frame is flushed")
     bclu.add_argument("--seed", type=int, default=0)
+    bclu.add_argument("--kill-respawn", action="store_true",
+                      help="SIGKILL one worker mid-run so the measured "
+                           "number includes a supervisor respawn-and-replay "
+                           "(the run must still end healthy)")
     bclu.set_defaults(func=cmd_bench_cluster)
 
     chk = sub.add_parser(

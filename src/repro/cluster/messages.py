@@ -12,18 +12,25 @@ Router → worker (control)
     cumulative-ack discipline as net batches, so delivery to a worker is
     effectively once), ``flush`` (a barrier: drain up to ticket ``high``
     and reply), ``reset`` (rebuild the engine with a new config;
-    test/bench hook) and ``bye``.
+    test/bench hook), ``ping`` (supervisor liveness probe),
+    ``snap-request`` (drain and ship a shard snapshot), ``restore``
+    (first message to a respawned worker: config + port map + the last
+    verified snapshot), ``detach`` (stop gating the merge on a
+    breaker-tripped shard) and ``bye``.
 
 Worker → router (control)
     ``worker-hello`` (index + exchange port), ``ready``, ``ack``
     (cumulative per the session), ``report`` / ``synced`` / ``reset-ok``
-    (barrier replies) and ``err``.
+    (barrier replies), ``pong``, ``snap`` (a CRC-guarded shard-snapshot
+    document), ``restore-ok`` and ``err``.
 
 Worker ↔ worker (exchange)
-    ``peer-hello`` and ``edges`` — a versioned
-    :mod:`~repro.core.frontier` payload of the edge groups one shard
-    derived, plus that worker's ticket watermark ``mark``.  An ``edges``
-    message with no groups is a pure watermark advance.
+    ``peer-hello`` (with a ``resume`` watermark when a respawned worker
+    redials) and ``edges`` — a versioned :mod:`~repro.core.frontier`
+    payload of the edge groups one shard derived, plus that worker's
+    ticket watermark ``mark``.  An ``edges`` message with no groups is a
+    pure watermark advance; ``resume-nack`` refuses a resume the
+    broadcast journal can no longer cover.
 
 Events
 ------
@@ -56,16 +63,24 @@ __all__ = [
     "bye",
     "cluster_ack",
     "decode_route_events",
+    "detach",
     "edges",
     "err",
     "flush",
     "peer_hello",
     "peers",
+    "ping",
+    "pong",
     "ready",
     "report_reply",
     "reset",
     "reset_ok",
+    "restore",
+    "restore_ok",
+    "resume_nack",
     "route",
+    "snap",
+    "snap_request",
     "synced",
     "wire_begin",
     "wire_commit",
@@ -92,9 +107,27 @@ def ready(index: int) -> dict:
     return {"type": "ready", "index": index}
 
 
-def peer_hello(index: int) -> dict:
-    """The first message on a worker↔worker exchange connection."""
-    return {"type": "peer-hello", "index": index}
+def peer_hello(index: int, resume: int | None = None) -> dict:
+    """The first message on a worker↔worker exchange connection.
+
+    ``resume`` is absent on the initial mesh build.  A *respawned*
+    worker redialing a peer sets it to the ticket watermark up to which
+    it already holds that peer's stream (restored from its snapshot);
+    the peer replies by replaying its broadcast-journal suffix past
+    that mark before any live broadcast travels on the link.
+    """
+    message = {"type": "peer-hello", "index": index}
+    if resume is not None:
+        message["resume"] = resume
+    return message
+
+
+def resume_nack(index: int, resume: int, trimmed: int) -> dict:
+    """A peer refusing a resume: its broadcast journal no longer covers
+    marks ``(resume, trimmed]`` — the redialing worker cannot be brought
+    back bit-exactly and must surface the failure to the router."""
+    return {"type": "resume-nack", "index": index, "resume": resume,
+            "trimmed": trimmed}
 
 
 # -- routing -------------------------------------------------------------------
@@ -191,6 +224,69 @@ def synced(counts: CycleCounts) -> dict:
 def _counts_dict(counts: CycleCounts) -> dict:
     return {"ss": counts.ss, "dd": counts.dd, "sss": counts.sss,
             "ssd": counts.ssd, "ddd": counts.ddd}
+
+
+# -- supervision ---------------------------------------------------------------
+
+
+def ping() -> dict:
+    """Router liveness probe; the worker's control loop answers
+    :func:`pong` whenever it is not blocked in a barrier drain."""
+    return {"type": "ping"}
+
+
+def pong(index: int) -> dict:
+    """A worker's answer to :func:`ping`."""
+    return {"type": "pong", "index": index}
+
+
+def snap_request(high: int) -> dict:
+    """Ask a worker to drain its merge to ticket ``high`` (the router
+    flushed every buffer first, so all streams can reach it), serialize
+    its shard state, and ship it router-ward as a :func:`snap`."""
+    return {"type": "snap-request", "high": high}
+
+
+def snap(document: dict) -> dict:
+    """A worker's shard snapshot: a
+    :func:`repro.storage.wal.encode_shard_snapshot` document (format
+    tag + version + CRC) the router verifies before trusting."""
+    return {"type": "snap", "document": document}
+
+
+def restore(config: dict, ports: list, route_high: int,
+            base_mark: int, snapshot: dict | None,
+            detached: list | None = None) -> dict:
+    """The router's first message to a *respawned* worker.
+
+    ``snapshot`` is the last verified shard-snapshot document (``None``
+    falls back to a fresh engine at ``base_mark`` — the full-journal
+    replay path); ``route_high`` is the control-session sequence the
+    replay resumes after, ``ports`` the current exchange-port map for
+    redialing the mesh (``None`` entries are peers that are down but
+    may themselves be respawned — they dial back in), ``base_mark`` the
+    ticket baseline a fresh engine starts its streams at (0 at first
+    start, the reset ticket after a :func:`reset`), and ``detached``
+    the shards whose breaker already tripped (their watermarks must
+    never gate this worker's merge).
+    """
+    return {"type": "restore", "config": config, "ports": ports,
+            "route_high": route_high, "base_mark": base_mark,
+            "snapshot": snapshot, "detached": list(detached or ())}
+
+
+def restore_ok(index: int) -> dict:
+    """A respawned worker reporting its state is installed and its peer
+    mesh redialed; the router may start the journal replay."""
+    return {"type": "restore-ok", "index": index}
+
+
+def detach(index: int) -> dict:
+    """Tell a surviving worker to stop waiting on shard ``index``'s
+    stream: the supervisor's circuit breaker tripped, the shard is gone,
+    and its watermark must no longer gate the merge (degraded mode —
+    counts continue without that shard's edges)."""
+    return {"type": "detach", "index": index}
 
 
 # -- lifecycle -----------------------------------------------------------------

@@ -29,6 +29,48 @@ one :class:`~repro.core.config.RushMonConfig` (``num_workers``,
   ``mob=False``; the ``sr=1`` differential pins it against the exact
   checkers).
 
+Supervision: respawn-and-replay
+-------------------------------
+
+A real-time monitor that dies with one lost process is worse than none,
+so worker death is a handled state, not an exception.  The router runs
+a supervisor thread that detects a dead worker three ways — control
+link EOF (the reader thread), ``Process.is_alive()`` going false (the
+poll loop), or a missed heartbeat when ``ping_timeout`` is enabled —
+and brings the shard back bit-exactly:
+
+- **Journal-then-send.**  Every ``route`` and ``flush`` frame is
+  appended to a per-link replay journal *before* it touches the wire,
+  so a frame lost to a dying socket is never lost to the protocol.
+  While a link is down, ingestion keeps journaling (and the cluster
+  keeps accepting events); the supervisor replays the journal onto the
+  respawned worker.  Route replay is idempotent (workers dedup on the
+  session sequence) and replayed flush frames rebuild the worker's
+  window state; their surplus replies are counted and discarded by the
+  reader (``flush`` ordinals vs. barrier replies already consumed).
+- **Snapshot shipping.**  Periodic snapshot rounds (``snapshot_interval``
+  router flushes, or automatically at half the journal capacity)
+  barrier every worker with ``snap-request`` and store each shard's
+  CRC-guarded state (see :func:`repro.storage.wal.encode_shard_snapshot`).
+  A verified snapshot empties that link's journal — the journal is
+  exactly the suffix past the last verified snapshot, which is all a
+  respawned worker needs after restoring it.  A corrupt snapshot
+  (:mod:`repro.testing.faults` point ``cluster.snapshot``) is rejected
+  and the previous one kept; with no verified snapshot at all the
+  respawn falls back to a full journal replay from the reset baseline.
+- **The circuit breaker.**  ``max_worker_restarts`` respawn attempts
+  per shard; past it the shard is *failed*: survivors get ``detach``
+  (its frozen watermark stops gating their merges), its routed frames
+  are dropped (counted), and reports carry ``health="degraded"`` plus
+  the missing shard indices in ``degraded_shards`` — the anomaly
+  signal narrows instead of dying.  :meth:`reset` on a degraded
+  cluster tears everything down and starts a fresh, healthy one.
+
+The supervisor never takes the monitor's ingestion lock (a barrier
+blocks holding it, and recovery is what unblocks the barrier); all
+supervisor↔ingestion coordination goes through per-link condition
+variables and a small supervisor-state lock.
+
 Workers are daemon processes started lazily on first ingestion via the
 ``spawn`` start method (fork-safety: no inherited locks or sockets), so
 constructing a ClusterMonitor is cheap and a never-used one spawns
@@ -38,7 +80,9 @@ nothing.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
+import signal
 import socket
 import threading
 import time
@@ -61,6 +105,8 @@ from repro.core.types import (
 from repro.net.protocol import FrameReader, ProtocolError, encode_frame
 from repro.obs.instrument import instrument_cluster_monitor
 from repro.obs.metrics import MetricsRegistry
+from repro.storage import wal
+from repro.testing.faults import FaultInjector
 
 __all__ = ["ClusterMonitor"]
 
@@ -75,10 +121,23 @@ _OP_WIRE = {member: member.value for member in OpType}
 #: stays correct, only the lookup speed degrades).
 _OWNER_CACHE_MAX = 1 << 20
 
+#: Barrier-latency buckets (seconds): sub-millisecond to the timeout.
+_BARRIER_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0,
+                    60.0, 120.0)
+
 
 class _WorkerLink:
-    """The router's view of one worker: process, control socket,
-    session counters and the reply queue its reader thread fills."""
+    """The router's view of one worker incarnation chain.
+
+    ``state`` is the supervisor's per-link machine — ``up`` (live),
+    ``down`` (dead, awaiting the supervisor), ``respawning`` (the
+    supervisor owns it) and ``failed`` (circuit breaker tripped;
+    terminal until :meth:`ClusterMonitor.reset`).  ``gen`` increments
+    per incarnation so a stale reader thread can never mark a fresh
+    incarnation dead.  ``cond`` guards every mutable field below it;
+    ``wlock`` serializes raw socket writes (ingestion, barriers, pings
+    and replay may interleave frames otherwise).
+    """
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -86,12 +145,37 @@ class _WorkerLink:
         self.sock: socket.socket | None = None
         self.reader = FrameReader()
         self.port: int | None = None
+        self.wlock = threading.Lock()
+        self.cond = threading.Condition()
+        # -- guarded by cond -------------------------------------------
+        self.state = "down"
+        self.gen = 0
         self.send_seq = 0
         self.acked = 0
-        self.cond = threading.Condition()
+        self.down_reason: str | None = None
+        #: Replay journal: ("route", seq, frame, None) and
+        #: ("flush", None, frame, ordinal) entries in exact send order.
+        #: Emptied whenever a snapshot is verified — the journal IS the
+        #: suffix past the last restore point.
+        self.journal: list[tuple] = []
+        #: Session seq already covered when the journal was last
+        #: emptied *without* a snapshot (start / reset baseline).
+        self.journal_base_seq = 0
+        #: Flush frames journaled / barrier replies consumed — their
+        #: difference over the replayed suffix is how many replayed
+        #: barrier replies the reader must discard.
+        self.flush_seq = 0
+        self.flush_replies_consumed = 0
+        self.discard_replies = 0
+        #: Last verified shard snapshot (encoded document) and the
+        #: session seq it covers.
+        self.snapshot: dict | None = None
+        self.snapshot_route_high = 0
+        self.last_ping = 0.0
+        self.last_pong = 0.0
+        # -- unguarded -------------------------------------------------
         self.replies: queue.Queue = queue.Queue()
         self.error: str | None = None
-        self.thread: threading.Thread | None = None
 
 
 class ClusterMonitor:
@@ -109,6 +193,9 @@ class ClusterMonitor:
     per-worker buffering between route flushes (every flush ships a
     frame to *every* worker — empty frames advance the cross-worker
     watermarks, so one hot shard cannot stall the merge on cold ones).
+    Worker death is supervised (see the module docstring): the cluster
+    respawns-and-replays up to ``config.max_worker_restarts`` times per
+    shard and degrades instead of raising past that.
     """
 
     #: Route frames in flight per worker before ingestion blocks.  The
@@ -117,11 +204,23 @@ class ClusterMonitor:
     ack_window = 8
     #: Seconds allowed for worker spawn + mesh handshake.
     handshake_timeout = 60.0
-    #: Seconds allowed for a flush/query/reset barrier.
+    #: Seconds allowed for a flush/query/reset barrier — this must also
+    #: cover a respawn-and-replay happening mid-barrier.
     barrier_timeout = 120.0
+    #: Supervisor poll cadence for ``Process.is_alive()`` checks.
+    poll_interval = 0.25
+    #: Heartbeat cadence, and the pong-silence threshold that marks a
+    #: worker dead.  ``ping_timeout=None`` (default) disables heartbeat
+    #: *enforcement*: a worker legitimately blocks its control loop for
+    #: up to its barrier drain timeout, so only enable this with
+    #: workloads whose barriers are known-fast.
+    ping_interval = 5.0
+    ping_timeout: float | None = None
 
     def __init__(self, config: RushMonConfig | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 faults: FaultInjector | None = None,
+                 worker_fault_specs: list[dict] | None = None) -> None:
         self.config = config or RushMonConfig()
         if self.config.resample_interval is not None:
             raise ValueError(
@@ -146,7 +245,36 @@ class ClusterMonitor:
         self.ops_routed = 0
         self.lifecycle_broadcasts = 0
         self.router_flushes = 0
+        #: Router-side fault injector (``cluster.route`` /
+        #: ``cluster.snapshot`` points); ``worker_fault_specs`` are
+        #: plain-dict Fault kwargs shipped across the spawn boundary to
+        #: arm the in-worker ``cluster.exchange`` point.
+        self.faults = faults
+        self.worker_fault_specs = worker_fault_specs
+        # -- supervision state (guarded by _sup_lock, not _lock: the
+        # supervisor must never contend with a blocked barrier) --------
+        self._sup_lock = threading.Lock()
+        self._degraded: set[int] = set()
+        self._restarts = [0] * n
+        self._config_dict = asdict(self.config)
+        self._base_mark = 0
+        self._sup_thread: threading.Thread | None = None
+        self._sup_stop: threading.Event | None = None
+        self._sup_queue: queue.Queue | None = None
+        self._last_snap_flush = 0
+        self.worker_restarts_total = 0
+        self.snapshots_shipped = 0
+        self.snapshots_rejected = 0
+        self.snapshot_rounds = 0
+        self.replay_frames_total = 0
+        self.frames_dropped_failed = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._barrier_hist = self.metrics.histogram(
+            "rushmon_cluster_barrier_seconds",
+            help="wall time of cluster flush barriers (includes any "
+                 "respawn-and-replay a barrier rode out)",
+            buckets=_BARRIER_BUCKETS,
+        )
         instrument_cluster_monitor(self.metrics, self)
 
     # -- lifecycle -------------------------------------------------------------
@@ -162,12 +290,14 @@ class ClusterMonitor:
         host, port = self._listener.getsockname()
         config_dict = asdict(self.config)
         self._links = [_WorkerLink(i) for i in range(self.num_workers)]
+        self._sup_stop = threading.Event()
+        self._sup_queue = queue.Queue()
         try:
             for link in self._links:
                 proc = ctx.Process(
                     target=worker_main,
                     args=(link.index, self.num_workers, host, port,
-                          config_dict),
+                          config_dict, self.worker_fault_specs),
                     daemon=True,
                     name=f"rushmon-cluster-{link.index}",
                 )
@@ -199,25 +329,45 @@ class ClusterMonitor:
         except Exception:
             self._teardown_locked()
             raise
+        now = time.monotonic()
         for link in self._links:
-            link.thread = threading.Thread(
-                target=self._reader_loop, args=(link,), daemon=True,
-                name=f"rushmon-cluster-reader-{link.index}",
-            )
-            link.thread.start()
+            with link.cond:
+                link.state = "up"
+                link.last_ping = now
+                link.last_pong = now
+            self._start_reader(link, link.sock, link.reader, link.gen,
+                               self._sup_queue)
+        self._sup_thread = threading.Thread(
+            target=self._supervise,
+            args=(self._links, self._sup_stop, self._sup_queue),
+            daemon=True, name="rushmon-cluster-supervisor",
+        )
+        self._sup_thread.start()
         self._started = True
 
-    def _reader_loop(self, link: _WorkerLink) -> None:
-        sock = link.sock
+    def _start_reader(self, link: _WorkerLink, sock: socket.socket,
+                      reader: FrameReader, gen: int,
+                      sup_queue: queue.Queue) -> None:
+        threading.Thread(
+            target=self._reader_loop, args=(link, sock, reader, gen,
+                                            sup_queue),
+            daemon=True,
+            name=f"rushmon-cluster-reader-{link.index}.{gen}",
+        ).start()
+
+    def _reader_loop(self, link: _WorkerLink, sock: socket.socket,
+                     reader: FrameReader, gen: int,
+                     sup_queue: queue.Queue) -> None:
         while True:
             try:
                 data = sock.recv(_RECV)
             except OSError:
                 data = b""
             if not data:
-                self._mark_dead(link, "control connection closed")
+                self._link_down(link, gen, "control connection closed",
+                                sup_queue)
                 return
-            for message in link.reader.feed(data):
+            for message in reader.feed(data):
                 kind = message["type"]
                 if kind == "ack":
                     with link.cond:
@@ -225,18 +375,33 @@ class ClusterMonitor:
                             link.acked = message["seq"]
                         link.cond.notify_all()
                 elif kind == "err":
-                    self._mark_dead(link, message["message"])
+                    self._link_down(link, gen, message["message"], sup_queue)
+                    return
+                elif kind == "pong":
+                    with link.cond:
+                        link.last_pong = time.monotonic()
                 else:
+                    with link.cond:
+                        if link.discard_replies > 0:
+                            # Surplus reply to a *replayed* flush (the
+                            # original was consumed by a barrier before
+                            # the worker died); drop it.
+                            link.discard_replies -= 1
+                            continue
                     link.replies.put(message)
 
-    def _mark_dead(self, link: _WorkerLink, reason: str) -> None:
-        if link.error is None:
-            link.error = reason
-        # Wake both kinds of waiters: barrier reply reads and
-        # backpressured route sends.
-        link.replies.put({"type": "err", "message": link.error})
+    def _link_down(self, link: _WorkerLink, gen: int, reason: str,
+                   sup_queue: queue.Queue) -> None:
+        """Transition a live link to ``down`` and wake the supervisor.
+        Generation-guarded: a stale incarnation's reader noticing its
+        own (already replaced) socket die is a no-op."""
         with link.cond:
+            if gen != link.gen or link.state != "up":
+                return
+            link.state = "down"
+            link.down_reason = reason
             link.cond.notify_all()
+        sup_queue.put(link)
 
     def stop(self) -> None:
         """Shut the cluster down: orderly ``bye``, then join (and, past
@@ -253,13 +418,29 @@ class ClusterMonitor:
             self._teardown_locked()
 
     def _teardown_locked(self) -> None:
+        if self._sup_stop is not None:
+            self._sup_stop.set()
+        if self._sup_queue is not None:
+            self._sup_queue.put(None)
+        # Close the listener before joining the supervisor: a respawn
+        # blocked in accept() aborts immediately instead of timing out.
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
         frame = encode_frame(msg.bye())
         for link in self._links:
-            if link.sock is not None:
+            with link.cond:
+                sock = link.sock
+                live = link.state == "up"
+            if sock is not None and live:
                 try:
-                    link.sock.sendall(frame)
+                    with link.wlock:
+                        sock.sendall(frame)
                 except OSError:
                     pass
+        if self._sup_thread is not None:
+            self._sup_thread.join(timeout=5.0)
+            self._sup_thread = None
         for link in self._links:
             if link.proc is not None:
                 link.proc.join(timeout=5.0)
@@ -271,15 +452,268 @@ class ClusterMonitor:
                     link.sock.close()
                 except OSError:
                     pass
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
 
     def __enter__(self) -> "ClusterMonitor":
         return self
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # -- supervision -----------------------------------------------------------
+
+    def _supervise(self, links: list[_WorkerLink], stop: threading.Event,
+                   sup_queue: queue.Queue) -> None:
+        """The supervisor loop: respawn links the readers report dead,
+        and poll the rest for silent deaths."""
+        while not stop.is_set():
+            try:
+                item = sup_queue.get(timeout=self.poll_interval)
+            except queue.Empty:
+                item = None
+            if stop.is_set():
+                return
+            if item is not None:
+                self._respawn(item, stop)
+                continue
+            self._poll_links(links, sup_queue)
+
+    def _poll_links(self, links: list[_WorkerLink],
+                    sup_queue: queue.Queue) -> None:
+        now = time.monotonic()
+        for link in links:
+            with link.cond:
+                if link.state != "up":
+                    continue
+                proc, gen, sock = link.proc, link.gen, link.sock
+                last_ping, last_pong = link.last_ping, link.last_pong
+            if proc is not None and not proc.is_alive():
+                self._link_down(link, gen, "worker process exited",
+                                sup_queue)
+                continue
+            if self.ping_timeout is None:
+                continue
+            if now - last_ping >= self.ping_interval:
+                with link.cond:
+                    link.last_ping = now
+                try:
+                    with link.wlock:
+                        sock.sendall(encode_frame(msg.ping()))
+                except OSError:
+                    self._link_down(link, gen, "heartbeat send failed",
+                                    sup_queue)
+                    continue
+            if now - last_pong > self.ping_timeout:
+                self._link_down(
+                    link, gen,
+                    f"no heartbeat reply within {self.ping_timeout}s",
+                    sup_queue)
+
+    def _respawn(self, link: _WorkerLink, stop: threading.Event) -> None:
+        """Bring one dead link back, retrying until it sticks or the
+        circuit breaker trips."""
+        while not stop.is_set():
+            with link.cond:
+                if link.state != "down":
+                    return
+                link.state = "respawning"
+                reason = link.down_reason or "unknown"
+            with self._sup_lock:
+                if self._restarts[link.index] >= self.config.max_worker_restarts:
+                    tripped = True
+                else:
+                    self._restarts[link.index] += 1
+                    self.worker_restarts_total += 1
+                    tripped = False
+            if tripped:
+                self._fail_link(
+                    link,
+                    f"restart budget exhausted "
+                    f"({self.config.max_worker_restarts}); last failure: "
+                    f"{reason}")
+                return
+            try:
+                self._spawn_and_restore(link)
+                return
+            except Exception as exc:
+                if stop.is_set():
+                    return
+                with link.cond:
+                    link.state = "down"
+                    link.down_reason = f"respawn attempt failed: {exc!r}"
+
+    def _spawn_and_restore(self, link: _WorkerLink) -> None:
+        """One respawn attempt: spawn, handshake, restore (snapshot or
+        fresh-at-baseline), replay the journal suffix, go live."""
+        old_sock, old_proc = link.sock, link.proc
+        if old_sock is not None:
+            try:
+                old_sock.close()
+            except OSError:
+                pass
+        if old_proc is not None:
+            if old_proc.is_alive():
+                old_proc.terminate()
+            old_proc.join(timeout=5.0)
+        with self._sup_lock:
+            config_dict = dict(self._config_dict)
+            base_mark = self._base_mark
+            detached = sorted(self._degraded)
+        listener = self._listener
+        if listener is None:
+            raise RuntimeError("cluster is shutting down")
+        host, port = listener.getsockname()
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(
+            target=worker_main,
+            args=(link.index, self.num_workers, host, port, config_dict,
+                  self.worker_fault_specs),
+            daemon=True,
+            name=f"rushmon-cluster-{link.index}",
+        )
+        proc.start()
+        link.proc = proc
+        sock = None
+        try:
+            sock, _ = listener.accept()
+            sock.settimeout(self.handshake_timeout)
+            reader = FrameReader()
+            hello = recv_message(sock, reader)
+            if hello["type"] != "worker-hello" or hello["index"] != link.index:
+                raise ProtocolError(f"unexpected respawn hello {hello!r}")
+            ports: list = []
+            for other in self._links:
+                if other is link:
+                    ports.append(hello["port"])
+                    continue
+                with other.cond:
+                    ports.append(
+                        other.port if other.state == "up" else None)
+            with link.cond:
+                snapshot = link.snapshot
+                route_high = (link.snapshot_route_high
+                              if snapshot is not None
+                              else link.journal_base_seq)
+            sock.sendall(encode_frame(msg.restore(
+                config_dict, ports, route_high, base_mark, snapshot,
+                detached)))
+            reply = recv_message(sock, reader)
+            if reply["type"] == "err":
+                raise RuntimeError(
+                    f"respawned worker {link.index} failed to restore: "
+                    f"{reply['message']}")
+            if reply["type"] != "restore-ok":
+                raise ProtocolError(
+                    f"expected restore-ok, got {reply['type']!r}")
+            sock.settimeout(None)
+        except Exception:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            raise
+        with link.cond:
+            link.sock = sock
+            link.reader = reader
+            link.port = hello["port"]
+            link.gen += 1
+            now = time.monotonic()
+            link.last_ping = now
+            link.last_pong = now
+            gen = link.gen
+        self._replay_link(link, gen)
+
+    def _replay_link(self, link: _WorkerLink, gen: int) -> None:
+        """Replay the journal suffix onto a restored link, then flip it
+        to ``up``.  The reader starts first (the worker's acks and any
+        genuine barrier replies must drain during replay); the state
+        flip happens under the link condition after the journal is
+        confirmed drained, so an ingestion append always lands either
+        in the replayed range or after the link sends for itself."""
+        with link.cond:
+            consumed = link.flush_replies_consumed
+            link.discard_replies = sum(
+                1 for entry in link.journal
+                if entry[0] == "flush" and entry[3] <= consumed)
+            sock = link.sock
+            reader = link.reader
+        self._start_reader(link, sock, reader, gen, self._sup_queue)
+        sent = 0
+        while True:
+            with link.cond:
+                if sent >= len(link.journal):
+                    link.state = "up"
+                    link.down_reason = None
+                    link.cond.notify_all()
+                    break
+                batch = list(link.journal[sent:])
+            for entry in batch:
+                with link.wlock:
+                    sock.sendall(entry[2])
+                sent += 1
+        self.replay_frames_total += sent
+
+    def _fail_link(self, link: _WorkerLink, reason: str) -> None:
+        """Trip the circuit breaker: the shard is gone for good (until
+        a reset).  Survivors stop gating their merges on it, waiters
+        are released, and reports degrade instead of raising."""
+        with self._sup_lock:
+            self._degraded.add(link.index)
+        with link.cond:
+            link.state = "failed"
+            link.error = reason
+            link.down_reason = reason
+            link.journal.clear()
+            link.snapshot = None
+            link.cond.notify_all()
+        # Release a barrier blocked on this shard's reply.
+        link.replies.put({"type": "failed"})
+        frame = encode_frame(msg.detach(link.index))
+        for other in self._links:
+            if other is link:
+                continue
+            with other.cond:
+                live = other.state == "up"
+                sock = other.sock
+            if live:
+                try:
+                    with other.wlock:
+                        sock.sendall(frame)
+                except OSError:
+                    pass
+        if link.proc is not None:
+            if link.proc.is_alive():
+                link.proc.terminate()
+            link.proc.join(timeout=5.0)
+        if link.sock is not None:
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+
+    @property
+    def degraded_shards(self) -> tuple:
+        """Indices of shards whose circuit breaker has tripped."""
+        with self._sup_lock:
+            return tuple(sorted(self._degraded))
+
+    def shard_health(self) -> list[dict]:
+        """Per-shard supervisor view (for live displays): link state
+        and consumed restart budget."""
+        with self._sup_lock:
+            restarts = list(self._restarts)
+        out = []
+        for link in self._links:
+            with link.cond:
+                out.append({
+                    "index": link.index,
+                    "state": link.state,
+                    "restarts": restarts[link.index],
+                })
+        return out
 
     # -- ingestion (MonitorListener) -------------------------------------------
 
@@ -366,6 +800,7 @@ class ClusterMonitor:
     def _route_if_full_locked(self) -> None:
         if max(len(b) for b in self._buffers) >= self.config.cluster_batch:
             self._flush_buffers_locked()
+            self._maybe_snapshot_locked()
 
     def _flush_buffers_locked(self) -> None:
         """Ship every per-worker buffer as one route frame.  All-or-none:
@@ -379,49 +814,224 @@ class ClusterMonitor:
         self.router_flushes += 1
 
     def _send_route(self, link: _WorkerLink, events: list) -> None:
-        self._check_alive(link)
-        if link.send_seq - link.acked >= self.ack_window:
-            deadline = time.monotonic() + self.barrier_timeout
-            with link.cond:
-                while link.send_seq - link.acked >= self.ack_window:
-                    self._check_alive(link)
+        """Journal-then-send one route frame.
+
+        A ``failed`` shard's frames are dropped (counted — the honest
+        accounting of degraded mode).  A ``down``/``respawning`` link
+        journals without sending: the supervisor's replay delivers.
+        Backpressure applies only to live links (a down link's acks
+        are frozen; its backlog is bounded by the respawn, which never
+        waits on this lock)."""
+        if self.faults is not None:
+            fault = self.faults.fire("cluster.route")
+            if fault is not None:
+                self._apply_route_fault(link, fault)
+        with link.cond:
+            if link.state == "failed":
+                self.frames_dropped_failed += 1
+                return
+            if link.state == "up" and \
+                    link.send_seq - link.acked >= self.ack_window:
+                deadline = time.monotonic() + self.barrier_timeout
+                while (link.state == "up"
+                       and link.send_seq - link.acked >= self.ack_window):
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         raise RuntimeError(
                             f"cluster worker {link.index} stopped acking "
                             f"route frames (backpressure timeout)")
                     link.cond.wait(remaining)
-        link.send_seq += 1
-        link.sock.sendall(encode_frame(
-            msg.route(link.send_seq, self._ticket, events)))
+                if link.state == "failed":
+                    self.frames_dropped_failed += 1
+                    return
+            link.send_seq += 1
+            frame = encode_frame(
+                msg.route(link.send_seq, self._ticket, events))
+            link.journal.append(("route", link.send_seq, frame, None))
+            live = link.state == "up"
+            gen = link.gen
+            sock = link.sock
+        if live:
+            try:
+                with link.wlock:
+                    sock.sendall(frame)
+            except OSError:
+                # Journaled before the send: the replay covers it.
+                self._link_down(link, gen, "route send failed",
+                                self._sup_queue)
 
-    def _check_alive(self, link: _WorkerLink) -> None:
-        if link.error is not None:
-            raise RuntimeError(
-                f"cluster worker {link.index} failed: {link.error}")
+    def _apply_route_fault(self, link: _WorkerLink, fault) -> None:
+        if fault.kind == "kill_worker":
+            with link.cond:
+                proc = link.proc
+            if proc is not None and proc.pid is not None and proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+        elif fault.kind == "delay":
+            time.sleep(fault.delay)
+        elif fault.kind == "exception":
+            raise fault.exc_factory()
+
+    # -- snapshot rounds -------------------------------------------------------
+
+    def _maybe_snapshot_locked(self) -> None:
+        """Run a snapshot round when due: every ``snapshot_interval``
+        router flushes if configured, else whenever some link's journal
+        reaches half its capacity (journal pressure — the bound that
+        keeps 'bounded per-shard replay journal' honest)."""
+        interval = self.config.snapshot_interval
+        if interval is not None:
+            due = self.router_flushes - self._last_snap_flush >= interval
+        else:
+            threshold = max(1, self.config.replay_journal_capacity // 2)
+            due = any(len(link.journal) >= threshold
+                      for link in self._links)
+        if due:
+            self._snapshot_round_locked()
+
+    def _snapshot_round_locked(self) -> None:
+        """Barrier every live worker with ``snap-request`` and store the
+        verified snapshots.  Aborted (retried at the next flush) while
+        any shard is mid-respawn; a shard dying mid-round just keeps
+        its previous snapshot."""
+        high = self._ticket
+        targets = []
+        for link in self._links:
+            with link.cond:
+                if link.state == "failed":
+                    continue
+                if link.state != "up":
+                    return  # respawn in flight; retry later
+            targets.append(link)
+        if not targets:
+            return
+        self._last_snap_flush = self.router_flushes
+        self.snapshot_rounds += 1
+        frame = encode_frame(msg.snap_request(high))
+        gens = {}
+        for link in targets:
+            with link.cond:
+                gens[link.index] = link.gen
+                sock = link.sock
+            try:
+                with link.wlock:
+                    sock.sendall(frame)
+            except OSError:
+                self._link_down(link, gens[link.index],
+                                "snap-request send failed", self._sup_queue)
+                return
+        for link in targets:
+            reply = self._await_snap(link, gens[link.index])
+            if reply is None:
+                continue  # died mid-round; previous snapshot stands
+            document = reply["document"]
+            if self.faults is not None:
+                fault = self.faults.fire("cluster.snapshot")
+                if fault is not None and fault.kind == "corrupt":
+                    document = dict(document)
+                    document["crc"] = document.get("crc", 0) ^ 1
+            try:
+                payload = wal.decode_shard_snapshot(document)
+            except wal.CheckpointError:
+                self.snapshots_rejected += 1
+                continue  # keep the previous verified snapshot
+            with link.cond:
+                if payload["route_high"] != link.send_seq:
+                    # Defensive: a snapshot that does not cover the
+                    # full session prefix must never become a restore
+                    # point (replay would double-apply).
+                    self.snapshots_rejected += 1
+                    continue
+                link.snapshot = document
+                link.snapshot_route_high = payload["route_high"]
+                # The journal was exactly the frames this snapshot now
+                # covers (the round runs under the ingestion lock, so
+                # nothing was appended since the drain).
+                link.journal.clear()
+            self.snapshots_shipped += 1
+
+    def _await_snap(self, link: _WorkerLink, gen: int) -> dict | None:
+        deadline = time.monotonic() + self.barrier_timeout
+        while True:
+            with link.cond:
+                if link.state != "up" or link.gen != gen:
+                    return None
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                reply = link.replies.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                continue
+            if reply.get("type") == "snap":
+                return reply
+            if reply.get("type") == "failed":
+                return None
+            # Anything else is out of protocol during a locked round.
+            raise ProtocolError(
+                f"expected snap from worker {link.index}, got "
+                f"{reply.get('type')!r}")
 
     # -- barriers --------------------------------------------------------------
 
-    def _barrier(self, window: bool, end: int = 0) -> list[dict]:
-        """Flush-and-wait on every worker; returns their replies in
-        worker order.  Callers hold the lock and have flushed buffers."""
+    def _barrier(self, window: bool, end: int = 0) -> list[tuple[int, dict]]:
+        """Flush-and-wait on every non-failed worker; returns
+        ``(index, reply)`` pairs in worker order (failed shards are
+        skipped — degraded mode).  Callers hold the lock and have
+        flushed buffers.  Flush frames are journaled like routes, so a
+        worker dying mid-barrier re-executes the flush after its
+        respawn and the barrier rides the recovery out instead of
+        raising."""
         frame = encode_frame(msg.flush(self._ticket, window, end))
+        start = time.monotonic()
+        waiting = []
         for link in self._links:
-            self._check_alive(link)
-            link.sock.sendall(frame)
-        return [self._await_reply(link) for link in self._links]
+            with link.cond:
+                if link.state == "failed":
+                    continue
+                link.flush_seq += 1
+                link.journal.append(("flush", None, frame, link.flush_seq))
+                live = link.state == "up"
+                gen = link.gen
+                sock = link.sock
+            if live:
+                try:
+                    with link.wlock:
+                        sock.sendall(frame)
+                except OSError:
+                    self._link_down(link, gen, "flush send failed",
+                                    self._sup_queue)
+            waiting.append(link)
+        replies = []
+        for link in waiting:
+            reply = self._await_reply(link)
+            if reply is None:
+                continue  # breaker tripped mid-barrier
+            with link.cond:
+                link.flush_replies_consumed += 1
+            replies.append((link.index, reply))
+        self._barrier_hist.observe(time.monotonic() - start)
+        return replies
 
-    def _await_reply(self, link: _WorkerLink) -> dict:
-        try:
-            reply = link.replies.get(timeout=self.barrier_timeout)
-        except queue.Empty:
-            raise RuntimeError(
-                f"cluster worker {link.index} did not reach the barrier "
-                f"within {self.barrier_timeout}s") from None
-        if reply["type"] == "err":
-            raise RuntimeError(
-                f"cluster worker {link.index} failed: {reply['message']}")
-        return reply
+    def _await_reply(self, link: _WorkerLink) -> dict | None:
+        """One barrier reply from ``link``, patient across a
+        respawn-and-replay; ``None`` once the link is failed."""
+        deadline = time.monotonic() + self.barrier_timeout
+        while True:
+            with link.cond:
+                if link.state == "failed":
+                    return None
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"cluster worker {link.index} did not reach the "
+                    f"barrier within {self.barrier_timeout}s")
+            try:
+                reply = link.replies.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                continue
+            if reply.get("type") == "failed":
+                return None
+            return reply
 
     # -- reporting (AnomalyMonitor) --------------------------------------------
 
@@ -432,7 +1042,10 @@ class ClusterMonitor:
     def close_window(self, now: int | None = None) -> AnomalyReport:
         """Close the cluster-wide window: barrier every worker at the
         current ticket, sum their raw window components, estimate once
-        from the sum (Theorem 5.2 linearity over item-disjoint shards)."""
+        from the sum (Theorem 5.2 linearity over item-disjoint shards).
+        With breaker-tripped shards the report carries
+        ``health="degraded"`` and names them in ``degraded_shards`` —
+        their keys' counts are missing, everything else is live."""
         with self._lock:
             self._ensure_started_locked()
             end = self._time(now)
@@ -442,12 +1055,13 @@ class ClusterMonitor:
             edges = EdgeStats()
             operations = 0
             patterns: dict = {}
-            for reply in replies:
+            for _, reply in replies:
                 raw.add(CycleCounts(**reply["raw"]))
                 edges.add(EdgeStats(**reply["edges"]))
                 operations += reply["ops"]
                 for pattern, count in reply["patterns"].items():
                     patterns[pattern] = patterns.get(pattern, 0) + count
+            degraded = self.degraded_shards
             p = self.sampling_probability
             report = AnomalyReport(
                 window_start=self._window_start,
@@ -458,7 +1072,8 @@ class ClusterMonitor:
                 edges=edges,
                 operations=operations,
                 patterns=patterns,
-                health="ok",
+                health="degraded" if degraded else "ok",
+                degraded_shards=degraded,
             )
             self._window_start = end
             self.reports.append(report)
@@ -472,12 +1087,13 @@ class ClusterMonitor:
 
     def counts(self) -> CycleCounts:
         """Cluster-wide cumulative detector counts (a ``synced`` barrier
-        that leaves the current window open)."""
+        that leaves the current window open; failed shards' counts are
+        missing — degraded mode)."""
         with self._lock:
             self._ensure_started_locked()
             self._flush_buffers_locked()
             total = CycleCounts()
-            for reply in self._barrier(window=False):
+            for _, reply in self._barrier(window=False):
                 total.add(CycleCounts(**reply["counts"]))
             return total
 
@@ -492,11 +1108,16 @@ class ClusterMonitor:
     # -- harness hooks ---------------------------------------------------------
 
     def reset(self, config: RushMonConfig) -> None:
-        """Rebuild every worker's engine in place with ``config`` —
-        differential and bench harnesses reuse one spawned cluster
-        across runs, amortizing the process-spawn cost.  Tickets and
-        watermarks stay monotone across the reset; reports, the logical
-        clock and window bounds start fresh."""
+        """Rebuild every worker's engine with ``config`` — differential
+        and bench harnesses reuse one spawned cluster across runs,
+        amortizing the process-spawn cost.
+
+        On a *healthy* cluster this is in-place: tickets and watermarks
+        stay monotone, replay journals and snapshots are cleared (the
+        reset is the new replay baseline).  On a cluster with any dead
+        or breaker-tripped shard it is a full restart — workers torn
+        down and respawned lazily, restart budgets and degraded state
+        wiped — which is how a degraded cluster is *recovered*."""
         with self._lock:
             if config.num_workers != self.num_workers:
                 raise ValueError(
@@ -506,18 +1127,52 @@ class ClusterMonitor:
             if config.resample_interval is not None:
                 raise ValueError("resample_interval is serial-only")
             if self._started:
-                self._flush_buffers_locked()
-                self._barrier(window=False)
-                frame = encode_frame(msg.reset(asdict(config)))
+                healthy = True
                 for link in self._links:
-                    link.sock.sendall(frame)
-                for link in self._links:
-                    reply = self._await_reply(link)
-                    if reply["type"] != "reset-ok":
-                        raise ProtocolError(
-                            f"expected reset-ok, got {reply['type']!r}")
+                    with link.cond:
+                        if link.state != "up":
+                            healthy = False
+                            break
+                if healthy:
+                    self._reset_in_place_locked(config)
+                else:
+                    self._teardown_locked()
+                    self._started = False
+                    self._links = []
+                    self._ticket = 0
             self.config = config
+            with self._sup_lock:
+                self._config_dict = asdict(config)
+                if not self._started:
+                    self._base_mark = 0
+                    self._degraded = set()
+                    self._restarts = [0] * self.num_workers
             self.reports = []
             self._now = 0
             self._window_start = 0
             self._buffers = [[] for _ in range(self.num_workers)]
+
+    def _reset_in_place_locked(self, config: RushMonConfig) -> None:
+        self._flush_buffers_locked()
+        self._barrier(window=False)
+        # Publish the new config/baseline before the workers rebuild, so
+        # a respawn racing the reset restores the post-reset world.
+        with self._sup_lock:
+            self._config_dict = asdict(config)
+            self._base_mark = self._ticket
+        frame = encode_frame(msg.reset(asdict(config)))
+        for link in self._links:
+            with link.wlock:
+                link.sock.sendall(frame)
+        for link in self._links:
+            reply = self._await_reply(link)
+            if reply is None or reply["type"] != "reset-ok":
+                raise ProtocolError(
+                    f"expected reset-ok, got "
+                    f"{reply['type'] if reply else 'failed link'!r}")
+        for link in self._links:
+            with link.cond:
+                link.journal.clear()
+                link.journal_base_seq = link.send_seq
+                link.snapshot = None
+                link.snapshot_route_high = 0

@@ -59,6 +59,43 @@ barrier, and replies with raw, summable window components (estimator
 linearity over item-disjoint shards, Theorem 5.2 — the router adds raw
 counts *then* estimates, which at a shared sampling probability equals
 summing per-shard estimates).
+
+Self-healing
+------------
+
+The worker carries three mechanisms the router's supervisor builds
+respawn-and-replay on (see :mod:`repro.cluster.monitor`):
+
+- **Snapshot shipping.**  ``snap-request(high)`` is a barrier that
+  replies with the shard's full state instead of a report: the worker
+  drains its merge to ``high`` (everything at or below ``high`` is
+  applied; groups from beyond the barrier may still sit pending, and
+  a restore's ``resume=high`` redial re-delivers them) and ships
+  collector + detector + window state in a CRC-guarded
+  :func:`repro.storage.wal.encode_shard_snapshot` document.
+- **The broadcast journal.**  Every edge-frontier broadcast is recorded
+  (mark + encoded frame) in a bounded deque *before* it touches any
+  socket, so a peer dying mid-send loses nothing recoverable.  When a
+  respawned peer redials with ``peer-hello(resume=H)``, the journal
+  suffix with marks ``> H`` is replayed onto the fresh link — under the
+  same lock broadcasts take, so replay and live traffic cannot
+  interleave out of order — before the link goes live.  A resume the
+  trimmed journal can no longer cover is refused with ``resume-nack``
+  (the supervisor then burns a restart attempt and, past the breaker,
+  degrades).
+- **Ticket dedup.**  Each peer stream tracks the highest group ticket
+  it has enqueued (``seen``).  Group tickets within one peer's stream
+  are strictly increasing, so dropping groups with ticket ``<= seen``
+  makes journal replays and a respawned peer's re-broadcasts exactly
+  idempotent.
+
+A respawned worker starts from ``restore`` instead of ``peers``: it
+installs the snapshot (or a fresh engine at the reset baseline on the
+full-replay fallback), dials *every* live peer with a resume mark, and
+replies ``restore-ok``; the router then replays the journaled route
+suffix past the snapshot.  ``detach(j)`` drops a breaker-tripped shard
+``j`` from the merge gating so the survivors keep counting without it
+(degraded mode).
 """
 
 from __future__ import annotations
@@ -78,6 +115,8 @@ from repro.core.monitor import WindowTracker
 from repro.core.pruning import make_pruner
 from repro.core.types import Operation
 from repro.net.protocol import FrameReader, ProtocolError, encode_frame
+from repro.storage import wal
+from repro.testing.faults import Fault, FaultInjector
 
 __all__ = ["ClusterWorker", "recv_message", "worker_main"]
 
@@ -102,13 +141,21 @@ def recv_message(sock: socket.socket, reader: FrameReader) -> dict:
 
 
 class _PeerStream:
-    """Pending edge groups and the ticket watermark of one peer."""
+    """Pending edge groups and the ticket watermark of one peer.
 
-    __slots__ = ("pending", "mark")
+    ``seen`` is the highest group ticket ever *enqueued* from this peer
+    — the dedup horizon that makes replayed broadcasts idempotent.
+    ``detached`` marks a breaker-tripped shard whose frozen watermark
+    must no longer gate the merge.
+    """
+
+    __slots__ = ("pending", "mark", "seen", "detached")
 
     def __init__(self) -> None:
         self.pending: deque = deque()
         self.mark = 0
+        self.seen = 0
+        self.detached = False
 
 
 class ClusterWorker:
@@ -118,17 +165,25 @@ class ClusterWorker:
     collector) with per-peer reader threads feeding the merge; all
     merge state — pending queues, watermarks, detector, window — is
     guarded by one condition variable, which the flush barrier also
-    waits on.
+    waits on.  A persistent acceptor thread keeps the exchange
+    listener open for the worker's whole life so respawned peers can
+    redial at any time.
     """
 
     #: Seconds to wait for the peer mesh and for barrier drains.
     handshake_timeout = 30.0
     barrier_timeout = 120.0
+    #: Redial attempts (and inter-attempt sleep) when a restored worker
+    #: rebuilds its mesh against peers that may be mid-accept.
+    redial_attempts = 5
+    redial_sleep = 0.2
 
     def __init__(self, index: int, num_workers: int,
-                 config: RushMonConfig) -> None:
+                 config: RushMonConfig,
+                 faults: FaultInjector | None = None) -> None:
         self.index = index
         self.num_workers = num_workers
+        self._faults = faults
         self._merge = threading.Condition()
         self._local: deque = deque()
         self._local_mark = 0
@@ -136,6 +191,20 @@ class ClusterWorker:
                        if j != index}
         self._peer_socks: dict[int, socket.socket] = {}
         self._route_high = 0
+        # Broadcast journal: (mark, encoded frame) in send order, bounded
+        # by the config's replay window.  _bcast_trimmed is the highest
+        # mark ever dropped — the oldest resume still serviceable.
+        self._bcast_lock = threading.Lock()
+        self._bcast_journal: deque = deque()
+        self._bcast_trimmed = 0
+        # Control-socket writes come from the control loop, peer-fatal
+        # paths and (replies aside) nowhere else; serialize them so an
+        # err frame never interleaves into an ack mid-frame.
+        self._control_lock = threading.Lock()
+        # Inbound mesh connections land here (acceptor thread -> run()).
+        self._mesh_cond = threading.Condition()
+        self._mesh_inbound: dict[int, tuple[socket.socket, FrameReader]] = {}
+        self._accept_errors: list[BaseException] = []
         self._build_engine(config)
 
     def _build_engine(self, config: RushMonConfig) -> None:
@@ -171,13 +240,15 @@ class ClusterWorker:
         the queues up to ``g`` *is* the serial order.  The merge runs
         on a heap of stream heads (one C-level heap op per event)
         instead of rescanning every stream per event; a lone busy
-        stream drains as a straight run.
+        stream drains as a straight run.  Detached shards (circuit
+        breaker tripped) no longer gate ``g``; whatever they delivered
+        before dying still merges in ticket order.
         """
         local = self._local
         peers = self._peers
         g = self._local_mark
         for stream in peers.values():
-            if stream.mark < g:
+            if not stream.detached and stream.mark < g:
                 g = stream.mark
         heap = []
         if local and local[0][0] <= g:
@@ -232,19 +303,56 @@ class ClusterWorker:
             self.detector.commit_buu(event[2], event[3])
 
     def _drained_locked(self, high: int) -> bool:
-        if self._local or self._local_mark < high:
+        """True once every ticket ``<= high`` has been applied.
+
+        A barrier promises nothing about tickets *beyond* it: while a
+        respawned worker replays its journaled control stream, the
+        surviving peers' resume replays deliver edge groups from far
+        past the replayed barrier, and those legitimately sit pending
+        until the local mark catches back up.  Requiring globally empty
+        queues here would deadlock that replay — the control loop would
+        block in this drain, pinning the local mark, which is exactly
+        what those future groups are waiting on.  So: marks must cover
+        ``high`` and nothing at or below ``high`` may remain pending;
+        later groups may.  (Queues are ticket-ordered per stream, so
+        the head ticket decides.)
+        """
+        if self._local_mark < high:
             return False
-        return all(not s.pending and s.mark >= high
-                   for s in self._peers.values())
+        if self._local and self._local[0][0] <= high:
+            return False
+        for stream in self._peers.values():
+            if not stream.detached and stream.mark < high:
+                return False
+            if stream.pending and stream.pending[0][0] <= high:
+                return False
+        return True
+
+    def _wait_drained(self, high: int, what: str) -> None:
+        deadline = time.monotonic() + self.barrier_timeout
+        with self._merge:
+            while not self._drained_locked(high):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"worker {self.index}: {what} at ticket {high} "
+                        f"timed out after {self.barrier_timeout}s "
+                        f"(a peer stalled or died)"
+                    )
+                self._merge.wait(remaining)
 
     # -- control-loop handlers ----------------------------------------------
+
+    def _send_control(self, frame: bytes) -> None:
+        with self._control_lock:
+            self._control.sendall(frame)
 
     def _handle_route(self, message: dict) -> None:
         seq = message["seq"]
         if seq <= self._route_high:
             # Duplicate delivery: re-ack, don't re-ingest — the same
             # high-water dedup the net server applies to batches.
-            self._control.sendall(encode_frame(msg.cluster_ack(
+            self._send_control(encode_frame(msg.cluster_ack(
                 self._route_high)))
             return
         if seq != self._route_high + 1:
@@ -262,7 +370,7 @@ class ClusterWorker:
             self._merge.notify_all()
         self._route_high = seq
         self._broadcast(groups, high)
-        self._control.sendall(encode_frame(msg.cluster_ack(seq)))
+        self._send_control(encode_frame(msg.cluster_ack(seq)))
 
     def _collect_route_events(self, records: list) -> tuple[list, list]:
         """Decode one route batch, run its operations through the
@@ -329,11 +437,45 @@ class ClusterWorker:
         return groups, local_batch
 
     def _broadcast(self, groups: list, mark: int) -> None:
-        if not self._peer_socks:
+        """Journal one edge-frontier broadcast, then fan it out.
+
+        The journal append happens *before* any send and under the same
+        lock resume replays take, so (a) a broadcast a dead peer never
+        received is still replayable, and (b) a freshly resumed link
+        sees the journal suffix and then live frames in exact order.  A
+        send failing on one link (the peer died) drops that link only;
+        the supervisor owns the recovery.
+        """
+        if self._faults is not None:
+            fault = self._faults.fire("cluster.exchange")
+            if fault is not None:
+                if fault.kind == "delay":
+                    time.sleep(fault.delay)
+                elif fault.kind == "exception":
+                    raise fault.exc_factory()
+        if self.num_workers == 1:
             return
         frame = encode_frame(msg.edges(self.index, groups, mark))
-        for sock in self._peer_socks.values():
-            sock.sendall(frame)
+        capacity = self.config.replay_journal_capacity
+        with self._bcast_lock:
+            journal = self._bcast_journal
+            journal.append((mark, frame))
+            while len(journal) > capacity:
+                trimmed_mark, _ = journal.popleft()
+                if trimmed_mark > self._bcast_trimmed:
+                    self._bcast_trimmed = trimmed_mark
+            dead = []
+            for j, sock in self._peer_socks.items():
+                try:
+                    sock.sendall(frame)
+                except OSError:
+                    dead.append(j)
+            for j in dead:
+                sock = self._peer_socks.pop(j)
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
     def _handle_flush(self, message: dict) -> None:
         high = message["high"]
@@ -343,17 +485,8 @@ class ClusterWorker:
             self._advance_locked()
             self._merge.notify_all()
         self._broadcast([], high)
-        deadline = time.monotonic() + self.barrier_timeout
+        self._wait_drained(high, "barrier")
         with self._merge:
-            while not self._drained_locked(high):
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise RuntimeError(
-                        f"worker {self.index}: barrier at ticket {high} "
-                        f"timed out after {self.barrier_timeout}s "
-                        f"(a peer stalled or died)"
-                    )
-                self._merge.wait(remaining)
             if message["window"]:
                 report = self.window.close(
                     end=message.get("now", 0),
@@ -362,15 +495,75 @@ class ClusterWorker:
                 reply = msg.report_reply(report, self.detector.counts)
             else:
                 reply = msg.synced(self.detector.counts)
-        self._control.sendall(encode_frame(reply))
+        self._send_control(encode_frame(reply))
+
+    def _handle_snap_request(self, message: dict) -> None:
+        """A snapshot barrier: drain to ``high`` exactly like a flush
+        (every stream's mark reaches ``high``, every queue empties — the
+        merge state serializes to nothing), then ship the shard state."""
+        high = message["high"]
+        with self._merge:
+            if high > self._local_mark:
+                self._local_mark = high
+            self._advance_locked()
+            self._merge.notify_all()
+        self._broadcast([], high)
+        self._wait_drained(high, "snapshot barrier")
+        with self._merge:
+            payload = {
+                "index": self.index,
+                "high": high,
+                "route_high": self._route_high,
+                "collector": self.collector.to_state(),
+                "detector": wal.encode_detector_state(self.detector),
+                "window": wal.encode_window_state(self.window),
+            }
+        self._send_control(encode_frame(msg.snap(
+            wal.encode_shard_snapshot(payload))))
 
     def _handle_reset(self, message: dict) -> None:
         config = RushMonConfig(**message["config"])
         with self._merge:
             self._build_engine(config)
-        self._control.sendall(encode_frame(msg.reset_ok()))
+            base = self._local_mark
+        with self._bcast_lock:
+            # Pre-reset broadcasts restore nothing useful; a respawn
+            # after a reset resumes at the reset baseline.
+            self._bcast_journal.clear()
+            self._bcast_trimmed = base
+        self._send_control(encode_frame(msg.reset_ok()))
+
+    def _handle_ping(self, message: dict) -> None:
+        self._send_control(encode_frame(msg.pong(self.index)))
+
+    def _handle_detach(self, message: dict) -> None:
+        """Shard ``j``'s circuit breaker tripped: stop gating the merge
+        on its frozen watermark (its already-delivered groups still
+        merge in order) and drop its link."""
+        j = message["index"]
+        stream = self._peers.get(j)
+        if stream is None:
+            return
+        with self._merge:
+            stream.detached = True
+            self._advance_locked()
+            self._merge.notify_all()
+        with self._bcast_lock:
+            sock = self._peer_socks.pop(j, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # -- peer exchange --------------------------------------------------------
+
+    def _start_peer_loop(self, j: int, sock: socket.socket,
+                         reader: FrameReader) -> None:
+        threading.Thread(
+            target=self._peer_loop, args=(j, sock, reader),
+            daemon=True, name=f"peer-{self.index}-{j}",
+        ).start()
 
     def _peer_loop(self, j: int, sock: socket.socket,
                    reader: FrameReader) -> None:
@@ -385,69 +578,213 @@ class ClusterWorker:
                         groups, _ = decode_frontier(message["frontier"])
                         with self._merge:
                             if groups:
-                                stream.pending.extend(groups)
+                                # Group tickets in one peer's stream are
+                                # strictly increasing, so everything at
+                                # or below the dedup horizon is a replay
+                                # duplicate.
+                                seen = stream.seen
+                                fresh = [grp for grp in groups
+                                         if grp[0] > seen]
+                                if fresh:
+                                    stream.pending.extend(fresh)
+                                    stream.seen = fresh[-1][0]
                             if message["mark"] > stream.mark:
                                 stream.mark = message["mark"]
                             self._advance_locked()
                             self._merge.notify_all()
+                    elif message["type"] == "resume-nack":
+                        self._fatal(
+                            f"worker {self.index}: peer {j} cannot replay "
+                            f"broadcasts past mark {message['resume']} "
+                            f"(journal trimmed to {message['trimmed']})"
+                        )
+                        return
                     elif message["type"] == "bye":
                         return
         except (OSError, ValueError):
             return  # torn down mid-recv during shutdown
 
-    def _connect_mesh(self, ports: list[int]) -> None:
-        """Build the full worker mesh: accept from higher indices,
-        connect to lower ones (one duplex link per pair)."""
-        expected = self.num_workers - 1 - self.index
-        inbound: dict[int, tuple[socket.socket, FrameReader]] = {}
-        failures: list[BaseException] = []
+    def _fatal(self, text: str) -> None:
+        """Report a fatal condition detected off the control loop and
+        tear the control link down so the supervisor takes over."""
+        try:
+            self._send_control(encode_frame(msg.err(text)))
+        except OSError:
+            pass
+        try:
+            self._control.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
 
-        def accept_loop() -> None:
+    def _accept_loop(self) -> None:
+        """Lifetime acceptor for the exchange listener.
+
+        Serves two kinds of inbound connection: initial mesh hellos
+        (handed to :meth:`_connect_mesh` through ``_mesh_inbound``) and
+        resume hellos from respawned peers (journal suffix replayed,
+        link swapped in under the broadcast lock)."""
+        while True:
             try:
-                for _ in range(expected):
-                    sock, _ = self._listener.accept()
-                    reader = FrameReader()
-                    hello = recv_message(sock, reader)
-                    if hello["type"] != "peer-hello":
-                        raise ProtocolError(
-                            f"expected peer-hello, got {hello['type']!r}")
-                    inbound[hello["index"]] = (sock, reader)
-            except BaseException as exc:  # surfaced after join
-                failures.append(exc)
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed at teardown
+            try:
+                sock.settimeout(self.handshake_timeout)
+                reader = FrameReader()
+                hello = recv_message(sock, reader)
+                if hello["type"] != "peer-hello":
+                    raise ProtocolError(
+                        f"expected peer-hello, got {hello['type']!r}")
+                sock.settimeout(None)
+                resume = hello.get("resume")
+                if resume is None:
+                    with self._mesh_cond:
+                        self._mesh_inbound[hello["index"]] = (sock, reader)
+                        self._mesh_cond.notify_all()
+                else:
+                    self._attach_resumed_peer(
+                        hello["index"], resume, sock, reader)
+            except (OSError, ConnectionError, ProtocolError) as exc:
+                with self._mesh_cond:
+                    self._accept_errors.append(exc)
+                    self._mesh_cond.notify_all()
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
-        acceptor = threading.Thread(target=accept_loop, daemon=True)
-        acceptor.start()
+    def _attach_resumed_peer(self, j: int, resume: int,
+                             sock: socket.socket,
+                             reader: FrameReader) -> None:
+        """Bring a respawned peer's fresh link up to date and go live.
+
+        Holding ``_bcast_lock`` across replay + install means no live
+        broadcast can slip between the journal suffix and the first
+        frame sent post-install — the peer sees one gapless, in-order
+        stream (its dedup horizon absorbs any overlap)."""
+        with self._bcast_lock:
+            if self._bcast_trimmed > resume:
+                try:
+                    sock.sendall(encode_frame(msg.resume_nack(
+                        self.index, resume, self._bcast_trimmed)))
+                finally:
+                    sock.close()
+                return
+            for mark, frame in self._bcast_journal:
+                if mark > resume:
+                    sock.sendall(frame)
+            old = self._peer_socks.get(j)
+            self._peer_socks[j] = sock
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        self._start_peer_loop(j, sock, reader)
+
+    def _connect_mesh(self, ports: list[int]) -> None:
+        """Build the full worker mesh: accept from higher indices
+        (via the lifetime acceptor), connect to lower ones (one duplex
+        link per pair)."""
+        expected = self.num_workers - 1 - self.index
         for j in range(self.index):
             sock = socket.create_connection(
                 ("127.0.0.1", ports[j]), timeout=self.handshake_timeout)
             sock.settimeout(None)
             sock.sendall(encode_frame(msg.peer_hello(self.index)))
             self._peer_socks[j] = sock
-            threading.Thread(
-                target=self._peer_loop, args=(j, sock, FrameReader()),
-                daemon=True, name=f"peer-{self.index}-{j}",
-            ).start()
-        acceptor.join(self.handshake_timeout)
-        if failures:
-            raise failures[0]
-        if acceptor.is_alive() or len(inbound) != expected:
-            raise RuntimeError(
-                f"worker {self.index}: peer mesh incomplete "
-                f"({len(inbound)}/{expected} inbound connections)"
-            )
+            self._start_peer_loop(j, sock, FrameReader())
+        deadline = time.monotonic() + self.handshake_timeout
+        with self._mesh_cond:
+            while len(self._mesh_inbound) < expected:
+                if self._accept_errors:
+                    raise self._accept_errors[0]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"worker {self.index}: peer mesh incomplete "
+                        f"({len(self._mesh_inbound)}/{expected} inbound "
+                        f"connections)"
+                    )
+                self._mesh_cond.wait(remaining)
+            inbound = dict(self._mesh_inbound)
+            self._mesh_inbound.clear()
         for j, (sock, reader) in inbound.items():
             self._peer_socks[j] = sock
-            threading.Thread(
-                target=self._peer_loop, args=(j, sock, reader),
-                daemon=True, name=f"peer-{self.index}-{j}",
-            ).start()
+            self._start_peer_loop(j, sock, reader)
+
+    # -- respawn ---------------------------------------------------------------
+
+    def _handle_restore(self, message: dict) -> None:
+        """Install shipped state and redial the mesh (respawn path).
+
+        With a snapshot, the engine resumes bit-exactly at the snapshot
+        barrier's ticket; without one (full-replay fallback) it starts
+        fresh at ``base_mark`` and the router replays everything since.
+        Either way every stream starts at the baseline — anything at or
+        below it is already inside the restored state, so ``seen``
+        starts there too and replayed peer broadcasts dedup cleanly.
+        """
+        config = RushMonConfig(**message["config"])
+        base = message["base_mark"]
+        document = message["snapshot"]
+        with self._merge:
+            self._build_engine(config)
+            if document is not None:
+                payload = wal.decode_shard_snapshot(document)
+                self.collector.load_state(payload["collector"])
+                wal.decode_detector_state(self.detector, payload["detector"])
+                wal.decode_window_state(self.window, payload["window"])
+                base = payload["high"]
+            self._local_mark = base
+            detached = set(message.get("detached", ()))
+            for j, stream in self._peers.items():
+                stream.mark = base
+                stream.seen = base
+                stream.detached = j in detached
+        self._route_high = message["route_high"]
+        with self._bcast_lock:
+            self._bcast_journal.clear()
+            self._bcast_trimmed = base
+        for j, port in enumerate(message["ports"]):
+            if j == self.index or j in detached:
+                continue
+            if port is None:
+                # Peer is down too; when *it* restores it dials us (a
+                # restored worker dials everyone), or the router detaches
+                # it once its breaker trips.
+                continue
+            self._dial_peer(j, port, base)
+
+    def _dial_peer(self, j: int, port: int, resume: int) -> None:
+        last: BaseException | None = None
+        for _ in range(self.redial_attempts):
+            try:
+                sock = socket.create_connection(
+                    ("127.0.0.1", port), timeout=self.handshake_timeout)
+                break
+            except OSError as exc:
+                last = exc
+                time.sleep(self.redial_sleep)
+        else:
+            raise RuntimeError(
+                f"worker {self.index}: cannot redial peer {j} on port "
+                f"{port}: {last!r}"
+            )
+        sock.settimeout(None)
+        sock.sendall(encode_frame(msg.peer_hello(self.index, resume=resume)))
+        with self._bcast_lock:
+            self._peer_socks[j] = sock
+        self._start_peer_loop(j, sock, FrameReader())
 
     # -- lifecycle -------------------------------------------------------------
 
     def run(self, host: str, port: int) -> None:
-        """Connect to the router, build the mesh, serve until ``bye``."""
+        """Connect to the router, build (or rejoin) the mesh, serve
+        until ``bye``."""
         self._listener = socket.create_server(("127.0.0.1", 0))
-        self._listener.settimeout(self.handshake_timeout)
+        threading.Thread(target=self._accept_loop, daemon=True,
+                         name=f"accept-{self.index}").start()
         self._control = socket.create_connection(
             (host, port), timeout=self.handshake_timeout)
         try:
@@ -455,23 +792,31 @@ class ClusterWorker:
                 self.index, self._listener.getsockname()[1])))
             reader = FrameReader()
             self._control.settimeout(self.handshake_timeout)
-            peers_msg = recv_message(self._control, reader)
-            if peers_msg["type"] != "peers":
+            first = recv_message(self._control, reader)
+            if first["type"] == "peers":
+                self._connect_mesh(first["ports"])
+                self._control.sendall(encode_frame(msg.ready(self.index)))
+            elif first["type"] == "restore":
+                self._handle_restore(first)
+                self._control.sendall(encode_frame(
+                    msg.restore_ok(self.index)))
+            else:
                 raise ProtocolError(
-                    f"expected peers, got {peers_msg['type']!r}")
-            self._connect_mesh(peers_msg["ports"])
-            self._listener.close()
-            self._control.sendall(encode_frame(msg.ready(self.index)))
+                    f"expected peers or restore, got {first['type']!r}")
             self._control.settimeout(None)
             self._serve(reader)
         except Exception as exc:
             try:
-                self._control.sendall(encode_frame(msg.err(
+                self._send_control(encode_frame(msg.err(
                     f"worker {self.index}: {exc!r}")))
             except OSError:
                 pass
             raise
         finally:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
             for sock in self._peer_socks.values():
                 try:
                     sock.close()
@@ -484,9 +829,15 @@ class ClusterWorker:
             "route": self._handle_route,
             "flush": self._handle_flush,
             "reset": self._handle_reset,
+            "ping": self._handle_ping,
+            "snap-request": self._handle_snap_request,
+            "detach": self._handle_detach,
         }
         while True:
-            data = self._control.recv(_RECV)
+            try:
+                data = self._control.recv(_RECV)
+            except OSError:
+                return  # control link torn down by _fatal
             if not data:
                 return  # router vanished; daemon exit
             for message in reader.feed(data):
@@ -500,8 +851,29 @@ class ClusterWorker:
 
 
 def worker_main(index: int, num_workers: int, host: str, port: int,
-                config_dict: dict) -> None:
+                config_dict: dict,
+                fault_specs: list[dict] | None = None) -> None:
     """Spawn entry point (must stay top-level importable for the
-    ``spawn`` start method): build the engine and serve."""
-    ClusterWorker(index, num_workers,
-                  RushMonConfig(**config_dict)).run(host, port)
+    ``spawn`` start method): build the engine and serve.
+
+    ``fault_specs`` are plain-dict :class:`~repro.testing.faults.Fault`
+    kwargs (picklable across the spawn boundary) armed inside the worker
+    process — how the chaos suite reaches the ``cluster.exchange``
+    injection point.
+    """
+    import os
+
+    if os.environ.get("RUSHMON_WORKER_DUMP"):
+        # Debug hook: dump every worker thread's stack after N seconds
+        # (hung-cluster triage; harmless if the worker exits first).
+        import faulthandler
+
+        faulthandler.dump_traceback_later(
+            float(os.environ["RUSHMON_WORKER_DUMP"]), exit=False)
+    faults = None
+    if fault_specs:
+        faults = FaultInjector()
+        for spec in fault_specs:
+            faults.inject(Fault(**spec))
+    ClusterWorker(index, num_workers, RushMonConfig(**config_dict),
+                  faults=faults).run(host, port)

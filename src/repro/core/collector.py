@@ -755,3 +755,25 @@ class DataCentricCollector(Collector):
         self._resample_epoch += 1
         self.sampler.reseed(self._resample_epoch * 0x9E3779B1 + 1)
         self.shard.clear_items()
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-friendly snapshot of the whole collector — op counter,
+        sampler membership, per-item bookkeeping and the MOB reservoir
+        RNG — so a restored collector continues *deterministically*
+        (the cluster's respawn-and-replay depends on this)."""
+        return {
+            "ops_seen": self.ops_seen,
+            "resample_epoch": self._resample_epoch,
+            "sampler": self.sampler.to_state(),
+            "shard": self.shard.to_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inverse of :meth:`to_state` (onto an identically configured
+        fresh collector)."""
+        self.ops_seen = state["ops_seen"]
+        self._resample_epoch = state["resample_epoch"]
+        self.sampler.load_state(state["sampler"])
+        self.shard.load_state(state["shard"])

@@ -71,6 +71,19 @@ class RushMonConfig:
         Cluster: ops buffered per worker before the router flushes a
         frame to every worker (batching amortizes framing; every
         flush also advances the cross-worker watermarks).
+    max_worker_restarts:
+        Cluster: respawns allowed *per worker* before the supervisor's
+        circuit breaker trips and the cluster runs DEGRADED without
+        that shard (mirrors the service's ``max_restarts``).
+    snapshot_interval:
+        Cluster: router flushes between shard-snapshot rounds.  ``None``
+        (the default) ships snapshots adaptively, whenever any worker's
+        replay journal reaches half of ``replay_journal_capacity``.
+    replay_journal_capacity:
+        Cluster: control frames the router retains per worker for
+        respawn-and-replay (and broadcasts each worker retains for peer
+        resume).  A respawn whose snapshot falls outside the retained
+        window cannot be replayed bit-exactly and degrades instead.
     """
 
     sampling_rate: int = 20
@@ -95,6 +108,9 @@ class RushMonConfig:
     # -- cluster (repro.cluster.ClusterMonitor) ------------------------
     num_workers: int = 4
     cluster_batch: int = DEFAULT_CLUSTER_BATCH
+    max_worker_restarts: int = 3
+    snapshot_interval: int | None = None
+    replay_journal_capacity: int = 4096
 
     #: Valid ``pruning`` strategies (mirrors repro.core.pruning.make_pruner).
     PRUNING_CHOICES = ("none", "ect", "distance", "both")
@@ -132,6 +148,13 @@ class RushMonConfig:
             # default so the value always validates.
             num_workers=getattr(args, "workers", None)
             or defaults.num_workers,
+            max_worker_restarts=pick(
+                "max_worker_restarts", defaults.max_worker_restarts
+            ),
+            snapshot_interval=getattr(args, "snapshot_interval", None),
+            replay_journal_capacity=pick(
+                "replay_journal_capacity", defaults.replay_journal_capacity
+            ),
         )
 
     def __post_init__(self) -> None:
@@ -215,4 +238,30 @@ class RushMonConfig:
             raise ValueError(
                 f"cluster_batch must be an integer >= 1 ops buffered per "
                 f"worker between router flushes, got {self.cluster_batch!r}"
+            )
+        if not isinstance(self.max_worker_restarts, int) or isinstance(
+            self.max_worker_restarts, bool
+        ) or self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be an integer >= 0 respawns per "
+                f"worker before the circuit breaker trips, got "
+                f"{self.max_worker_restarts!r}"
+            )
+        if self.snapshot_interval is not None and (
+            not isinstance(self.snapshot_interval, int)
+            or isinstance(self.snapshot_interval, bool)
+            or self.snapshot_interval < 1
+        ):
+            raise ValueError(
+                f"snapshot_interval must be >= 1 router flushes between "
+                f"snapshot rounds, or None for journal-pressure-driven "
+                f"snapshots, got {self.snapshot_interval!r}"
+            )
+        if not isinstance(self.replay_journal_capacity, int) or isinstance(
+            self.replay_journal_capacity, bool
+        ) or self.replay_journal_capacity < 1:
+            raise ValueError(
+                f"replay_journal_capacity must be an integer >= 1 retained "
+                f"control frames per worker, got "
+                f"{self.replay_journal_capacity!r}"
             )

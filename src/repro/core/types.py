@@ -201,9 +201,15 @@ class AnomalyReport:
     patterns: dict = field(default_factory=dict)
     #: Health of the monitor that produced this report: ``"ok"`` in
     #: normal operation, ``"degraded"`` when the concurrent service's
-    #: detection supervisor has tripped its circuit breaker (the counts
-    #: may then lag or undercount — see repro.core.concurrent.service).
+    #: detection supervisor (or the cluster's worker supervisor) has
+    #: tripped its circuit breaker (the counts may then lag or
+    #: undercount — see repro.core.concurrent.service / repro.cluster).
     health: str = "ok"
+    #: Cluster only: worker shard indices whose counts are *missing*
+    #: from this window because the shard's circuit breaker tripped
+    #: (``health == "degraded"``).  Empty for healthy windows and for
+    #: the single-process monitors.
+    degraded_shards: tuple = ()
 
     @property
     def anomalies(self) -> float:

@@ -220,3 +220,35 @@ def instrument_cluster_monitor(registry: MetricsRegistry,
         lambda: float(len(cluster.reports)),
         help="cluster-wide monitoring windows closed so far",
     )
+    registry.gauge_fn(
+        "rushmon_cluster_degraded",
+        lambda: float(len(cluster.degraded_shards)),
+        help="shards whose restart circuit breaker has tripped "
+             "(0 = healthy; reports carry health=degraded while nonzero)",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_worker_restarts_total",
+        lambda: float(cluster.worker_restarts_total),
+        help="worker processes respawned by the supervisor",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_snapshots_shipped_total",
+        lambda: float(cluster.snapshots_shipped),
+        help="shard snapshots shipped, CRC-verified and stored",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_snapshots_rejected_total",
+        lambda: float(cluster.snapshots_rejected),
+        help="shard snapshots rejected (CRC/format/coverage failures)",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_replay_frames_total",
+        lambda: float(cluster.replay_frames_total),
+        help="journaled frames replayed onto respawned workers",
+    )
+    registry.gauge_fn(
+        "rushmon_cluster_frames_dropped_failed_total",
+        lambda: float(cluster.frames_dropped_failed),
+        help="route frames dropped because the destination shard's "
+             "circuit breaker tripped (degraded-mode loss accounting)",
+    )

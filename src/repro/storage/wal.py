@@ -239,6 +239,59 @@ def load_checkpoint(path: str | Path) -> dict:
     return payload
 
 
+# -- shard snapshots: the same checkpoint discipline, shipped in memory -------
+
+#: Format tag stamped into every cluster shard snapshot.
+SHARD_SNAPSHOT_FORMAT = "rushmon-shard-snapshot"
+#: Bump on any incompatible shard-snapshot payload change.
+SHARD_SNAPSHOT_VERSION = 1
+
+
+def encode_shard_snapshot(payload: dict) -> dict:
+    """Wrap a cluster worker's shard state in the checkpoint envelope
+    (format tag + version + CRC over the canonical payload encoding).
+
+    Unlike :func:`save_checkpoint` the document never touches disk — it
+    ships router-ward over the cluster control link — but the router
+    applies the same trust rule: a snapshot that fails verification is
+    *rejected*, never restored into a respawned worker.
+    """
+    body = json.dumps(payload, sort_keys=True)
+    return {
+        "format": SHARD_SNAPSHOT_FORMAT,
+        "version": SHARD_SNAPSHOT_VERSION,
+        "crc": zlib.crc32(body.encode()),
+        "payload": payload,
+    }
+
+
+def decode_shard_snapshot(document: dict) -> dict:
+    """Verify a shard-snapshot document and return its payload.
+
+    Raises :class:`CheckpointError` on a foreign document, version
+    mismatch, or CRC failure — a corrupted snapshot must never seed a
+    respawned worker (the router falls back to its previous snapshot,
+    or to a full journal replay).
+    """
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != SHARD_SNAPSHOT_FORMAT
+    ):
+        raise CheckpointError(
+            f"not a {SHARD_SNAPSHOT_FORMAT} document"
+        )
+    if document.get("version") != SHARD_SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"shard snapshot has version {document.get('version')}, "
+            f"this build reads version {SHARD_SNAPSHOT_VERSION}"
+        )
+    payload = document.get("payload")
+    body = json.dumps(payload, sort_keys=True)
+    if zlib.crc32(body.encode()) != document.get("crc"):
+        raise CheckpointError("shard snapshot failed its CRC check")
+    return payload
+
+
 # -- codecs: detector / window / report state <-> JSON-friendly dicts --------
 #
 # Duck-typed on the core objects (a checkpoint is storage's concern, so
@@ -368,6 +421,7 @@ def encode_report(report: AnomalyReport) -> dict:
         "operations": report.operations,
         "patterns": report.patterns,
         "health": report.health,
+        "degraded_shards": list(report.degraded_shards),
     }
 
 
@@ -383,6 +437,7 @@ def decode_report(state: dict) -> AnomalyReport:
         operations=state["operations"],
         patterns=state["patterns"],
         health=state["health"],
+        degraded_shards=tuple(state.get("degraded_shards", ())),
     )
 
 

@@ -41,6 +41,23 @@ Injection points wired into the pipeline
     closes the connection with the batch ingested but the ack lost —
     forcing the client's retransmit/server-dedup path; ``corrupt``
     flips a byte of the ack frame on the wire.
+``cluster.route``
+    In the cluster router, per route frame sent to a worker, *before*
+    the frame hits the wire.  ``kill_worker`` SIGKILLs the destination
+    worker process at that exact point — the deterministic crash the
+    cluster chaos differential is built on (the supervisor must
+    respawn-and-replay it bit-exactly).
+``cluster.exchange``
+    In a cluster worker, per edge-frontier broadcast to the peer mesh
+    (armed via :attr:`~repro.cluster.ClusterMonitor.worker_fault_specs`
+    because it fires inside the worker *process*).  ``exception`` turns
+    the broadcast into a worker-fatal error (exercising the supervisor);
+    ``delay`` simulates a slow exchange link.
+``cluster.snapshot``
+    In the cluster router, on receipt of a shard snapshot, before CRC
+    verification.  ``corrupt`` flips one byte of the serialized payload
+    — the router must *reject* it and keep its previous snapshot, never
+    restore a bit-rotted shard.
 
 Fault kinds
 -----------
@@ -55,8 +72,11 @@ Fault kinds
 ``disconnect``
     Only meaningful at ``net.*`` points: drop the TCP connection.
 ``corrupt``
-    Only meaningful at ``net.recv`` / ``net.ack``: flip one byte of
-    the data in flight.
+    Only meaningful at ``net.recv`` / ``net.ack`` / ``cluster.snapshot``:
+    flip one byte of the data in flight.
+``kill_worker``
+    Only meaningful at ``cluster.route``: SIGKILL the destination
+    worker process.
 
 Scheduling: each fault skips its first ``after`` eligible calls, then
 fires on every ``every``-th call, at most ``times`` times.  All
@@ -81,10 +101,14 @@ POINTS = (
     "net.accept",
     "net.recv",
     "net.ack",
+    "cluster.route",
+    "cluster.exchange",
+    "cluster.snapshot",
 )
 
 #: Fault kinds understood by the call sites.
-KINDS = ("exception", "delay", "partial_drain", "disconnect", "corrupt")
+KINDS = ("exception", "delay", "partial_drain", "disconnect", "corrupt",
+         "kill_worker")
 
 
 class InjectedFault(RuntimeError):
@@ -126,8 +150,12 @@ class Fault:
         if self.kind == "disconnect" and not self.point.startswith("net."):
             raise ValueError("disconnect only applies to net.* points")
         if self.kind == "corrupt" and self.point not in (
-                "net.recv", "net.ack"):
-            raise ValueError("corrupt only applies to net.recv / net.ack")
+                "net.recv", "net.ack", "cluster.snapshot"):
+            raise ValueError(
+                "corrupt only applies to net.recv / net.ack / "
+                "cluster.snapshot")
+        if self.kind == "kill_worker" and self.point != "cluster.route":
+            raise ValueError("kill_worker only applies to cluster.route")
         if self.after < 0 or self.every < 1:
             raise ValueError("after must be >= 0 and every >= 1")
         if self.times is not None and self.times < 1:

@@ -201,17 +201,24 @@ def test_stop_is_idempotent_and_refuses_further_ingestion():
         monitor.on_operation(Operation(OpType.WRITE, 1, "x", 2))
 
 
-def test_worker_death_surfaces_as_runtime_error():
+def test_worker_death_is_respawned_transparently():
     monitor = ClusterMonitor(
         RushMonConfig(sampling_rate=1, mob=False, num_workers=2))
     monitor.on_operation(Operation(OpType.WRITE, 1, "x", 1))
     victim = monitor._links[0].proc
     victim.terminate()
     victim.join(timeout=10)
-    with pytest.raises(RuntimeError, match="worker 0"):
-        # The dead worker can no longer reach the barrier; the facade
-        # must fail loudly, never publish a silently partial window.
-        monitor.close_window()
+    # The supervisor detects the death and respawns shard 0 behind the
+    # barrier: the window closes healthy, with nothing lost.
+    report = monitor.close_window()
+    assert report.health == "ok"
+    assert report.degraded_shards == ()
+    assert report.operations == 1
+    assert monitor.worker_restarts_total >= 1
+    assert monitor._links[0].proc is not victim
+    health = {entry["index"]: entry for entry in monitor.shard_health()}
+    assert health[0]["state"] == "up"
+    assert health[0]["restarts"] >= 1
     monitor.stop()
 
 

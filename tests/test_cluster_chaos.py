@@ -1,0 +1,245 @@
+"""Cluster chaos suite: worker crashes, respawn-and-replay, degradation.
+
+The self-healing claim is differential, like everything else in this
+repo: a cluster whose worker was **SIGKILLed mid-stream** must, after
+the supervisor's respawn-and-replay, produce ``sr=1`` reports that are
+*bit-exact* against an unharmed single-process monitor on the same
+history.  The kill is deterministic — the ``cluster.route`` fault point
+fires ``kill_worker`` on a configured route-frame send — so every seed
+exercises the same crash site on every run.
+
+Beyond the differential: the restart-storm test drives repeated kills
+into the ``max_worker_restarts`` circuit breaker and asserts the facade
+*degrades* (``health="degraded"``, ``degraded_shards``, the
+``rushmon_cluster_degraded`` gauge) instead of raising; the
+snapshot-corruption tests flip CRC bits at the ``cluster.snapshot``
+point and assert rejected snapshots never become restore points (the
+full-journal fallback keeps the differential exact); and the reset test
+recovers a degraded cluster back to healthy, bit-exact operation.
+
+Tier-1 runs the smoke seeds; the full ``>= 10`` seed x {2, 4} worker
+sweep carries the ``oracle`` mark (CI's cluster-chaos job runs it via
+``-m cluster``, which overrides the default ``-m 'not oracle'``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import exact_cycle_counts
+from repro.cluster import ClusterMonitor
+from repro.core.config import RushMonConfig
+from repro.storage.wal import CheckpointError, decode_shard_snapshot, \
+    encode_shard_snapshot
+from repro.testing.faults import Fault, FaultInjector
+
+from tests.histgen import feed_with_lifecycle
+from tests.test_checkers_differential import monitor_counts, workload_history
+
+pytestmark = pytest.mark.cluster
+
+CHAOS_FULL_SEEDS = range(10)
+CHAOS_SMOKE_SEEDS = (0, 7)
+WORKER_COUNTS = (2, 4)
+
+
+def _chaos_config(workers: int, seed: int, **overrides) -> RushMonConfig:
+    """sr=1/no-MOB (the bit-exact regime) with a small route batch so a
+    modest history produces many flushes — many deterministic crash
+    sites for the ``cluster.route`` fault to pick from."""
+    defaults = dict(sampling_rate=1, mob=False, seed=seed,
+                    num_workers=workers, cluster_batch=16)
+    defaults.update(overrides)
+    return RushMonConfig(**defaults)
+
+
+def _assert_chaos_bit_exact(cluster: ClusterMonitor, seed: int) -> None:
+    """The acceptance differential: the harmed cluster against an
+    unharmed serial monitor and the independent exact checker."""
+    history = workload_history("ycsb", seed)
+    serial = monitor_counts(history, seed=seed)
+    feed_with_lifecycle([cluster], history)
+    assert cluster.counts() == serial.detector.counts \
+        == exact_cycle_counts(history)
+    assert cluster.cumulative_estimates() == serial.cumulative_estimates()
+    report = cluster.close_window()
+    assert report == serial.close_window()
+    assert report.health == "ok"
+    assert report.degraded_shards == ()
+
+
+def _run_kill_case(workers: int, seed: int, **config_overrides) -> None:
+    faults = FaultInjector()
+    # Fires on one mid-stream route-frame send: SIGKILL its destination
+    # worker.  (``after`` is scaled so snapshots/journals have content
+    # by the time the crash lands.)
+    faults.inject(Fault("cluster.route", kind="kill_worker",
+                        after=4 * workers, times=1))
+    cluster = ClusterMonitor(_chaos_config(workers, seed,
+                                           **config_overrides),
+                             faults=faults)
+    try:
+        _assert_chaos_bit_exact(cluster, seed)
+        assert faults.fired_by_point.get("cluster.route", 0) == 1, \
+            "the kill never fired — the workload produced too few flushes"
+        assert cluster.worker_restarts_total >= 1
+        assert all(entry["state"] == "up"
+                   for entry in cluster.shard_health())
+    finally:
+        cluster.stop()
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS,
+                         ids=["workers2", "workers4"])
+@pytest.mark.parametrize("seed", CHAOS_SMOKE_SEEDS)
+def test_sigkill_respawn_bit_exact_smoke(workers, seed):
+    """Tier-1 subset of the kill differential (journal-replay path:
+    no snapshot rounds forced, default capacity means none trigger)."""
+    _run_kill_case(workers, seed)
+
+
+@pytest.mark.oracle
+@pytest.mark.parametrize("workers", WORKER_COUNTS,
+                         ids=["workers2", "workers4"])
+@pytest.mark.parametrize("seed", CHAOS_FULL_SEEDS)
+def test_sigkill_respawn_bit_exact_full_sweep(workers, seed):
+    """The acceptance sweep: >= 10 seeds x {2, 4} workers."""
+    _run_kill_case(workers, seed)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS,
+                         ids=["workers2", "workers4"])
+def test_sigkill_respawn_from_snapshot(workers):
+    """Same differential, but with snapshot rounds on every router
+    flush the respawn restores from a shipped snapshot + short replay
+    instead of a full journal replay."""
+    faults = FaultInjector()
+    faults.inject(Fault("cluster.route", kind="kill_worker",
+                        after=6 * workers, times=1))
+    cluster = ClusterMonitor(_chaos_config(workers, seed=3,
+                                           snapshot_interval=1),
+                             faults=faults)
+    try:
+        _assert_chaos_bit_exact(cluster, seed=3)
+        assert faults.fired_by_point.get("cluster.route", 0) == 1
+        assert cluster.worker_restarts_total >= 1
+        assert cluster.snapshots_shipped >= workers, \
+            "snapshot shipping never ran before the kill"
+    finally:
+        cluster.stop()
+
+
+def test_restart_storm_trips_breaker_into_degraded_mode():
+    """Two deaths against a one-respawn budget: the first is respawned,
+    the second trips the breaker and the facade *degrades* — reports
+    keep flowing with ``health`` and ``degraded_shards`` honest, the
+    gauge goes up, and routed frames for the lost shard are counted as
+    dropped, never silently lost."""
+    faults = FaultInjector()
+    # The 5th route send targets shard 0 (sends alternate 0,1 per
+    # flush): SIGKILL it mid-stream; the budget covers this one.
+    faults.inject(Fault("cluster.route", kind="kill_worker",
+                        after=4, times=1))
+    cluster = ClusterMonitor(_chaos_config(2, seed=0,
+                                           max_worker_restarts=1),
+                             faults=faults)
+    try:
+        history = workload_history("ycsb", 0)
+        feed_with_lifecycle([cluster], history)
+        assert cluster.close_window().health == "ok"
+        assert cluster.worker_restarts_total == 1
+        # Second death of the same shard: budget exhausted -> breaker.
+        victim = cluster._links[0].proc
+        victim.terminate()
+        victim.join(timeout=10)
+        feed_with_lifecycle([cluster], history)
+        report = cluster.close_window()
+        assert report.health == "degraded"
+        assert report.degraded_shards == (0,)
+        assert cluster.latest_report().degraded_shards == (0,)
+        assert cluster.degraded_shards == (0,)
+        assert cluster.worker_restarts_total == 1
+        assert cluster.metrics.snapshot()["rushmon_cluster_degraded"] == 1.0
+        assert cluster.frames_dropped_failed >= 1
+        # The survivors keep reporting: another window closes cleanly.
+        assert cluster.close_window().health == "degraded"
+    finally:
+        cluster.stop()
+
+
+def test_breaker_at_zero_degrades_on_first_death():
+    """``max_worker_restarts=0`` means no respawn budget at all: the
+    first death goes straight to DEGRADED instead of raising."""
+    cluster = ClusterMonitor(_chaos_config(2, seed=0,
+                                           max_worker_restarts=0))
+    try:
+        history = workload_history("ycsb", 0)
+        feed_with_lifecycle([cluster], history[: len(history) // 2])
+        victim = cluster._links[1].proc
+        victim.terminate()
+        victim.join(timeout=10)
+        feed_with_lifecycle([cluster], history[len(history) // 2:])
+        report = cluster.close_window()
+        assert report.health == "degraded"
+        assert report.degraded_shards == (1,)
+        assert cluster.worker_restarts_total == 0
+    finally:
+        cluster.stop()
+
+
+def test_reset_recovers_a_degraded_cluster():
+    """The recovery story: :meth:`ClusterMonitor.reset` on a degraded
+    cluster tears the remnants down, respawns a fresh healthy cluster,
+    and the differential holds again."""
+    cluster = ClusterMonitor(_chaos_config(2, seed=0,
+                                           max_worker_restarts=0))
+    try:
+        history = workload_history("ycsb", 0)
+        feed_with_lifecycle([cluster], history)
+        victim = cluster._links[0].proc
+        victim.terminate()
+        victim.join(timeout=10)
+        assert cluster.close_window().health == "degraded"
+        cluster.reset(_chaos_config(2, seed=5, max_worker_restarts=0))
+        assert cluster.degraded_shards == ()
+        _assert_chaos_bit_exact(cluster, seed=5)
+    finally:
+        cluster.stop()
+
+
+def test_corrupt_snapshots_are_rejected_and_fallback_stays_exact():
+    """Every shipped snapshot arrives bit-flipped (``cluster.snapshot``
+    corrupt fault): the router must reject them all — a bit-rotted
+    restore point is worse than none — and a kill then recovers through
+    the full-journal fallback, still bit-exact."""
+    faults = FaultInjector()
+    faults.inject(Fault("cluster.snapshot", kind="corrupt", times=None))
+    faults.inject(Fault("cluster.route", kind="kill_worker",
+                        after=10, times=1))
+    cluster = ClusterMonitor(_chaos_config(2, seed=1, snapshot_interval=1),
+                             faults=faults)
+    try:
+        _assert_chaos_bit_exact(cluster, seed=1)
+        assert cluster.snapshots_rejected >= 1
+        assert cluster.snapshots_shipped == 0
+        assert cluster.worker_restarts_total >= 1
+        # No verified snapshot ever became a restore point.
+        assert all(link.snapshot is None for link in cluster._links)
+    finally:
+        cluster.stop()
+
+
+def test_shard_snapshot_codec_roundtrip_and_crc():
+    """Unit pin for the snapshot envelope: roundtrip fidelity, CRC
+    tamper detection, foreign-document rejection."""
+    payload = {"index": 1, "high": 42, "route_high": 7,
+               "collector": {"ops_seen": 9}, "detector": {"x": [1, 2]},
+               "window": {"w": 3}}
+    document = encode_shard_snapshot(payload)
+    assert decode_shard_snapshot(document) == payload
+    tampered = dict(document)
+    tampered["crc"] = tampered["crc"] ^ 1
+    with pytest.raises(CheckpointError, match="CRC"):
+        decode_shard_snapshot(tampered)
+    with pytest.raises(CheckpointError):
+        decode_shard_snapshot({"format": "something-else", "version": 1})
