@@ -46,6 +46,9 @@ def _add_monitor_args(parser: argparse.ArgumentParser) -> None:
                         help="disable memory-optimized bookkeeping")
     parser.add_argument("--pruning", default="both",
                         choices=["none", "ect", "distance", "both"])
+    parser.add_argument("--columnar", action="store_true",
+                        help="vectorized columnar ingest (numpy; falls "
+                             "back to the per-op path without it)")
     parser.add_argument("--seed", type=int, default=0)
 
 

@@ -91,6 +91,7 @@ from typing import Iterable
 
 from repro.cluster import messages as msg
 from repro.cluster.worker import recv_message, worker_main
+from repro.core.columnar import OpBatch
 from repro.core.config import RushMonConfig
 from repro.core.estimator import estimate_three_cycles, estimate_two_cycles
 from repro.core.frontier import key_partition
@@ -120,6 +121,12 @@ _OP_WIRE = {member: member.value for member in OpType}
 #: many distinct keys (beyond it, compute without caching — placement
 #: stays correct, only the lookup speed degrades).
 _OWNER_CACHE_MAX = 1 << 20
+
+
+def _column_list(column) -> list:
+    """An :class:`~repro.core.columnar.OpBatch` column as a plain list
+    (numpy ``tolist`` or the fallback list itself)."""
+    return column if isinstance(column, list) else column.tolist()
 
 #: Barrier-latency buckets (seconds): sub-millisecond to the timeout.
 _BARRIER_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0,
@@ -242,6 +249,8 @@ class ClusterMonitor:
         self._window_start = 0
         self._buffers: list[list] = [[] for _ in range(n)]
         self._owners: dict = {}
+        #: columnar routing: interner identity + per-kid owner table.
+        self._kid_owners: dict = {}
         self.ops_routed = 0
         self.lifecycle_broadcasts = 0
         self.router_flushes = 0
@@ -767,6 +776,8 @@ class ClusterMonitor:
             self._route_if_full_locked()
 
     def on_operations(self, ops: Iterable[Operation]) -> None:
+        if isinstance(ops, OpBatch):
+            return self.on_op_batch(ops)
         with self._lock:
             self._ensure_started_locked()
             buffers = self._buffers
@@ -793,6 +804,55 @@ class ClusterMonitor:
             self._ticket = ticket
             self._now = now
             self.ops_routed += count
+            self._route_if_full_locked()
+
+    def on_op_batch(self, batch: OpBatch) -> None:
+        """Columnar fast path of :meth:`on_operations`.
+
+        Routes an :class:`~repro.core.columnar.OpBatch` without
+        materializing per-op ``Operation`` objects: the owning worker is
+        computed once per interned key id (a dense per-kid table shared
+        across batches), rows gather their owner through it, and wire
+        records are emitted straight from the batch's columns.  Tickets,
+        buffer contents and route frames are identical to routing the
+        same operations through the per-op path.
+        """
+        with self._lock:
+            self._ensure_started_locked()
+            n = len(batch)
+            if not n:
+                return
+            interner = batch.interner
+            cache = self._kid_owners
+            owners = cache.get("owners")
+            if cache.get("interner") is not interner or owners is None:
+                cache.clear()
+                cache["interner"] = interner
+                owners = cache["owners"] = []
+            if len(owners) < len(interner):
+                key_of = interner.key_of
+                workers, mask = self.num_workers, self._mask
+                owners.extend(
+                    key_partition(key_of(kid), workers, mask)
+                    for kid in range(len(owners), len(interner)))
+            kids = _column_list(batch.kid)
+            codes = _column_list(batch.op)
+            buus = _column_list(batch.buu)
+            seqs = _column_list(batch.seq)
+            keys = interner._keys
+            buffers = self._buffers
+            ticket = self._ticket
+            rw = ("r", "w")
+            for code, buu, kid, seq, owner in zip(
+                    codes, buus, kids, seqs,
+                    map(owners.__getitem__, kids)):
+                ticket += 1
+                buffers[owner].append([rw[code], buu, keys[kid], seq, ticket])
+            self._ticket = ticket
+            high = batch.max_seq()
+            if high > self._now:
+                self._now = high
+            self.ops_routed += n
             self._route_if_full_locked()
 
     # -- routing ---------------------------------------------------------------

@@ -29,7 +29,6 @@ from repro.core.patterns import (
     PatternCounts,
     classify_two_cycle,
 )
-from repro.core.prediction import ConvergencePredictor, rank_correlation
 from repro.core.serializability import (
     SerializabilityVerdict,
     check_graph,
@@ -111,3 +110,14 @@ __all__ = [
     "Operation",
     "OpType",
 ]
+
+
+def __getattr__(name):
+    # repro.core.prediction is the one core module that hard-requires
+    # numpy (lstsq); loading it lazily keeps a base install (no
+    # ``repro[fast]`` extra) importable end to end.
+    if name in ("ConvergencePredictor", "rank_correlation"):
+        from repro.core import prediction
+
+        return getattr(prediction, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

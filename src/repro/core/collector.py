@@ -28,6 +28,13 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.core.columnar import (
+    HAVE_NUMPY,
+    EdgeBatch,
+    OpBatch,
+    collect_columnar,
+    sample_mask,
+)
 from repro.core.types import (
     BuuId,
     Edge,
@@ -83,11 +90,16 @@ class Collector:
         """Batched :meth:`handle`: feed a sequence of operations, return
         their edges as one list.
 
-        Subclasses override this with fused loops (hoisted attribute
-        lookups, one output buffer); every override is bit-identical to
-        per-op handling — same edges, counters, and RNG draw order — as
-        enforced by the batch-equivalence test suite.
+        Also accepts a columnar :class:`~repro.core.columnar.OpBatch`
+        (materialized back to per-op handling here; collectors with a
+        vectorized kernel override that path).  Subclasses override this
+        with fused loops (hoisted attribute lookups, one output buffer);
+        every override is bit-identical to per-op handling — same edges,
+        counters, and RNG draw order — as enforced by the
+        batch-equivalence test suite.
         """
+        if isinstance(ops, OpBatch):
+            ops = ops.to_ops()
         edges: list[Edge] = []
         for op in ops:
             edges.extend(self.handle(op))
@@ -137,7 +149,9 @@ class BaselineCollector(Collector):
         return out
 
     def handle_batch(self, ops: Iterable[Operation]) -> list[Edge]:
-        if not isinstance(ops, (list, tuple)):
+        if isinstance(ops, OpBatch):
+            ops = ops.to_ops()
+        elif not isinstance(ops, (list, tuple)):
             ops = list(ops)
         n = len(ops)
         self.ops_seen += n
@@ -215,6 +229,8 @@ class EdgeSamplingCollector(BaselineCollector):
             return BaselineCollector.handle_batch(self, ops)
         # Sampled ES must draw its coin per edge in per-op order to stay
         # bit-identical; ES is the paper's strawman, not a fast path.
+        if isinstance(ops, OpBatch):
+            ops = ops.to_ops()
         out: list[Edge] = []
         handle = self.handle
         for op in ops:
@@ -663,6 +679,9 @@ class DataCentricCollector(Collector):
             self.sampler.materialize(items)
         self._resample_interval = resample_interval
         self._resample_epoch = 0
+        # Per-key-id DCS decision cache for the columnar path (see
+        # :func:`repro.core.columnar.sample_mask`).
+        self._mask_cache: dict = {}
 
     @property
     def mob(self) -> bool:
@@ -720,7 +739,17 @@ class DataCentricCollector(Collector):
         :meth:`handle`; when periodic re-sampling is configured the
         batch falls back to the per-op path so sample switches trigger
         at exactly the same operation indexes.
+
+        A columnar :class:`~repro.core.columnar.OpBatch` takes the
+        vectorized kernel (:func:`~repro.core.columnar.collect_columnar`)
+        and returns an :class:`~repro.core.columnar.EdgeBatch`; without
+        numpy (or under periodic re-sampling) it degrades to the per-op
+        path via ``to_ops()`` — same results, list-of-``Edge`` output.
         """
+        if isinstance(ops, OpBatch):
+            if not HAVE_NUMPY or self._resample_interval:
+                return self.handle_batch(ops.to_ops())
+            return self._handle_columnar(ops)
         if not isinstance(ops, (list, tuple)):
             ops = list(ops)
         if self._resample_interval:
@@ -750,6 +779,15 @@ class DataCentricCollector(Collector):
         if picked:
             self.shard.handle_batch(picked, out)
         return out
+
+    def _handle_columnar(self, batch: OpBatch) -> EdgeBatch:
+        """The vectorized DCS path: one boolean sample mask per batch,
+        then the grouped edge-derivation kernel on the shard's state.
+        Bit-identical to per-op handling (the columnar differential
+        suite compares edges, counters and RNG end state)."""
+        self.ops_seen += len(batch)
+        mask = sample_mask(batch, self.sampler, self._mask_cache)
+        return collect_columnar(self.shard, batch, mask)
 
     def _switch_sample(self) -> None:
         self._resample_epoch += 1

@@ -49,6 +49,12 @@ class RushMonConfig:
         interval; logical operations are this reproduction's clock.
     count_three_cycles:
         Disable to monitor only 2-cycles.
+    columnar:
+        Route batched ingest through the vectorized columnar kernel
+        (:mod:`repro.core.columnar`) — operations are interned into
+        numpy column batches and edges derived as array ops.
+        Bit-identical results; silently ignored when numpy is not
+        installed (``pip install repro[fast]``).
     seed:
         Seed for all of the monitor's internal randomness.
     num_shards:
@@ -92,6 +98,7 @@ class RushMonConfig:
     prune_interval: int = 1000
     resample_interval: int | None = None
     count_three_cycles: bool = True
+    columnar: bool = False
     seed: int = 0
     # -- service (repro.core.concurrent.RushMonService) ----------------
     num_shards: int = 8
@@ -135,6 +142,7 @@ class RushMonConfig:
             sampling_rate=pick("sampling_rate", defaults.sampling_rate),
             mob=not getattr(args, "no_mob", False),
             pruning=pick("pruning", defaults.pruning),
+            columnar=bool(getattr(args, "columnar", False)),
             seed=pick("seed", defaults.seed),
             resample_interval=getattr(args, "resample_interval", None),
             num_shards=pick("shards", defaults.num_shards),
@@ -199,6 +207,11 @@ class RushMonConfig:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ValueError(
                 f"seed must be an int, got {type(self.seed).__name__}"
+            )
+        if not isinstance(self.columnar, bool):
+            raise ValueError(
+                f"columnar must be a bool, got "
+                f"{type(self.columnar).__name__}"
             )
         # -- service fields (validated here so RushMonService can trust
         # -- any config object it is handed) -----------------------------

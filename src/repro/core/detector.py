@@ -16,6 +16,7 @@ from __future__ import annotations
 import heapq
 from collections import defaultdict
 
+from repro.core.columnar import EdgeBatch
 from repro.core.patterns import PatternCounts, classify_two_cycle
 from repro.core.types import BuuId, CycleCounts, Edge, EdgeType, Key
 
@@ -245,7 +246,14 @@ class CycleDetector:
         counting (:meth:`_count_new_cycles`) are fused into one loop
         over hoisted dict locals — the logic is a line-for-line copy of
         those two methods, kept in sync by the batch-equivalence tests.
+
+        A columnar :class:`~repro.core.columnar.EdgeBatch` is accepted
+        natively: its rows are already in per-op emission order, and
+        labels are translated back to raw keys through the batch's
+        interner so graph state stays identical to the per-edge path.
         """
+        if isinstance(edges, EdgeBatch):
+            edges = edges.iter_rows()
         total = CycleCounts()
         graph = self.graph
         labels_map = graph.labels

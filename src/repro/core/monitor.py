@@ -23,6 +23,7 @@ import warnings
 from typing import Iterable
 
 from repro.core.collector import BaselineCollector, DataCentricCollector
+from repro.core.columnar import HAVE_NUMPY, EdgeBatch, OpBatch
 from repro.core.config import RushMonConfig
 from repro.core.detector import CycleDetector
 from repro.core.estimator import estimate_three_cycles, estimate_two_cycles
@@ -33,6 +34,7 @@ from repro.core.types import (
     CycleCounts,
     EdgeStats,
     Key,
+    KeyInterner,
     Operation,
 )
 from repro.obs.instrument import instrument_serial_monitor
@@ -71,12 +73,20 @@ class WindowTracker:
         self.raw.add(self.detector.add_edge(edge))
 
     def observe_edges(self, edges) -> None:
-        """Batched :meth:`observe_edge` (same counts, one detector call)."""
+        """Batched :meth:`observe_edge` (same counts, one detector call).
+        Accepts a list of edges or a columnar
+        :class:`~repro.core.columnar.EdgeBatch` (per-kind tallies ride
+        on the batch, so no per-edge stats loop is needed)."""
         if not edges:
             return
         stats = self.edges
-        for edge in edges:
-            stats.record(edge.kind)
+        if isinstance(edges, EdgeBatch):
+            stats.wr += edges.wr
+            stats.ww += edges.ww
+            stats.rw += edges.rw
+        else:
+            for edge in edges:
+                stats.record(edge.kind)
         self.raw.add(self.detector.add_edge_batch(edges))
 
     def close(self, end: int, probability: float,
@@ -152,6 +162,11 @@ class RushMon:
         )
         self._window = WindowTracker(self.detector)
         self._now = 0
+        # --columnar: batches are interned into OpBatch columns and take
+        # the vectorized kernel; a no-numpy install silently keeps the
+        # (bit-identical) per-op path.
+        self._columnar = bool(self.config.columnar) and HAVE_NUMPY
+        self._interner = None
         self.reports: list[AnomalyReport] = []
         # Observability is callback-only on the serial path (zero
         # hot-path cost): every reading is pulled from existing counters
@@ -187,16 +202,31 @@ class RushMon:
         detector batch.  Identical counts to per-op ingestion (collector
         state never depends on detector state, per-key edge order is
         preserved, and windows only close on explicit
-        :meth:`close_window` calls)."""
-        if not isinstance(ops, (list, tuple)):
-            ops = list(ops)
-        if not ops:
-            return
-        edges = self.collector.handle_batch(ops)
-        now = self._now
-        for op in ops:
-            if op.seq > now:
-                now = op.seq
+        :meth:`close_window` calls).
+
+        Accepts a columnar :class:`~repro.core.columnar.OpBatch`
+        directly; with ``config.columnar`` set, plain operation
+        sequences are interned into one first."""
+        if not isinstance(ops, OpBatch):
+            if not isinstance(ops, (list, tuple)):
+                ops = list(ops)
+            if not ops:
+                return
+            if self._columnar:
+                if self._interner is None:
+                    self._interner = KeyInterner()
+                ops = OpBatch.from_ops(ops, self._interner)
+        if isinstance(ops, OpBatch):
+            if not len(ops):
+                return
+            edges = self.collector.handle_batch(ops)
+            now = max(self._now, ops.max_seq())
+        else:
+            edges = self.collector.handle_batch(ops)
+            now = self._now
+            for op in ops:
+                if op.seq > now:
+                    now = op.seq
         self._now = now
         self._window.observe_operations(len(ops))
         self._window.observe_edges(edges)

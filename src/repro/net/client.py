@@ -96,8 +96,11 @@ class RushMonClient:
         (pause, then resend the same sequence — the server resumes from
         its recorded partial offset) or ``"shed"`` (as above).
     codec:
-        ``protocol.CODEC_JSON`` (default, always available) or
-        ``protocol.CODEC_MSGPACK`` (requires the optional dependency).
+        ``protocol.CODEC_JSON`` (default, always available),
+        ``protocol.CODEC_MSGPACK`` (requires the optional dependency)
+        or ``protocol.CODEC_COLUMNAR`` (packed column batches the
+        server can decode without per-event object construction;
+        always available, vectorized when numpy is installed).
     seed:
         Seeds the jitter RNG — lets chaos tests make backoff
         deterministic.

@@ -6,7 +6,7 @@ Frames
 Every message travels as one frame::
 
     4 bytes  big-endian payload length N (codec byte + crc + body)
-    1 byte   codec id (0 = JSON, 1 = msgpack)
+    1 byte   codec id (0 = JSON, 1 = msgpack, 2 = columnar)
     4 bytes  big-endian CRC-32 of the body
     N-5 bytes encoded message body
 
@@ -69,11 +69,47 @@ Batch events are compact lists, mirroring the WAL record vocabulary:
 
 - operation: ``["r"|"w", buu, key, seq]``
 - lifecycle: ``["b"|"c", buu, time]`` (BUU begin / commit)
+
+The columnar codec (id 2)
+-------------------------
+
+Codec 2 carries ``batch`` messages as a packed fixed-width column
+layout instead of a per-record JSON/msgpack tree, so a receiver can
+decode a whole batch with a handful of buffer slices (``numpy.
+frombuffer`` when available) and hand the columns straight to the
+vectorized collector (:mod:`repro.core.columnar`) — no per-operation
+object construction on the hot ingest path.  The body is::
+
+    1 byte   tag (0 = JSON fallback, 1 = packed batch)
+
+Tag 0 wraps an ordinary JSON message body — codec-2 connections use it
+for every non-batch message (hello, ack, ping, …) and for batches whose
+keys are not ``str``/``int`` (wire keys are JSON values, so exotic
+keys already implied the JSON representation).  Tag 1 is::
+
+    2 bytes  LE session id length, then that many UTF-8 bytes
+    8 bytes  LE unsigned batch sequence number
+    4 bytes  LE unsigned event count n
+    4 bytes  LE unsigned key-table size k
+    key table: k entries, each ``1 byte tag`` then
+               tag 0: 2 bytes LE length + UTF-8 string key
+               tag 1: 8 bytes LE signed int key
+    n bytes  op codes  (0 = r, 1 = w, 2 = begin, 3 = commit)
+    8n bytes LE signed BUU ids
+    4n bytes LE signed key-table indices (-1 for lifecycle rows)
+    8n bytes LE signed per-op sequence numbers / lifecycle times
+
+Integers are fixed-width: a batch whose BUU/seq values do not fit the
+column falls back to tag 0 rather than truncate.  Decoding yields the
+same message dict as the other codecs except ``"events"`` is a
+:class:`ColumnarEvents` column struct; :func:`decode_events` accepts it
+transparently, so codec-2 and JSON clients interoperate on one server.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import struct
 import zlib
 from typing import Iterable, Iterator
@@ -90,9 +126,16 @@ try:  # optional accelerator: same JSON wire format, ~10x faster codec
 except ImportError:  # pragma: no cover - depends on the environment
     orjson = None
 
+try:  # optional accelerator: vectorized codec-2 column packing
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
+
 __all__ = [
+    "CODEC_COLUMNAR",
     "CODEC_JSON",
     "CODEC_MSGPACK",
+    "ColumnarEvents",
     "ERROR_CODES",
     "FrameReader",
     "MAX_FRAME",
@@ -105,6 +148,7 @@ __all__ = [
 #: Codec ids carried in the frame header.
 CODEC_JSON = 0
 CODEC_MSGPACK = 1
+CODEC_COLUMNAR = 2
 
 #: Refuse frames larger than this (a corrupt length prefix must not
 #: make a reader try to buffer gigabytes).
@@ -126,18 +170,44 @@ class ProtocolError(RuntimeError):
     undecodable body, unknown codec, oversized frame)."""
 
 
+def _json_body(message: dict) -> bytes:
+    if orjson is not None:
+        try:
+            return orjson.dumps(message)
+        except TypeError:
+            # orjson is stricter than the stdlib (tuples, >64-bit
+            # ints); fall back rather than change what encodes.
+            pass
+    return json.dumps(message, separators=(",", ":")).encode()
+
+
+#: Any JSON integer that can overflow an i64 has >= 19 digits; orjson
+#: (some versions) *lossily* parses such integers as floats instead of
+#: raising, so bodies that might contain one take the exact stdlib
+#: parser.  Shorter digit runs can never overflow, and a false positive
+#: (a long digit run inside a string or float) only costs speed.
+_MAYBE_BIG_INT = re.compile(rb"\d{19}")
+
+
+def _loads_json(body: bytes) -> dict:
+    if orjson is not None and _MAYBE_BIG_INT.search(body) is None:
+        try:
+            return orjson.loads(body)
+        except Exception:
+            # Accept anything the stdlib would; true corruption fails
+            # both parsers and raises below.
+            pass
+    return json.loads(body.decode())
+
+
 def encode_frame(message: dict, codec: int = CODEC_JSON) -> bytes:
     """Serialize one message dict into a length-prefixed frame."""
     if codec == CODEC_JSON:
-        if orjson is not None:
-            try:
-                body = orjson.dumps(message)
-            except TypeError:
-                # orjson is stricter than the stdlib (tuples, >64-bit
-                # ints); fall back rather than change what encodes.
-                body = json.dumps(message, separators=(",", ":")).encode()
-        else:
-            body = json.dumps(message, separators=(",", ":")).encode()
+        body = _json_body(message)
+    elif codec == CODEC_COLUMNAR:
+        packed = (_pack_batch_columnar(message)
+                  if message.get("type") == "batch" else None)
+        body = packed if packed is not None else b"\x00" + _json_body(message)
     elif codec == CODEC_MSGPACK:
         if msgpack is None:
             raise ProtocolError(
@@ -154,22 +224,15 @@ def encode_frame(message: dict, codec: int = CODEC_JSON) -> bytes:
 def _decode_body(codec: int, body: bytes) -> dict:
     try:
         if codec == CODEC_JSON:
-            if orjson is not None:
-                try:
-                    message = orjson.loads(body)
-                except Exception:
-                    # Accept anything the stdlib would (e.g. >64-bit
-                    # ints a non-orjson peer encoded); true corruption
-                    # fails both and raises below.
-                    message = json.loads(body.decode())
-            else:
-                message = json.loads(body.decode())
+            message = _loads_json(body)
         elif codec == CODEC_MSGPACK:
             if msgpack is None:
                 raise ProtocolError(
                     "peer sent a msgpack frame but msgpack is not installed"
                 )
             message = msgpack.unpackb(body)
+        elif codec == CODEC_COLUMNAR:
+            message = _decode_columnar_body(body)
         else:
             raise ProtocolError(f"unknown codec id {codec}")
     except ProtocolError:
@@ -179,6 +242,241 @@ def _decode_body(codec: int, body: bytes) -> dict:
     if not isinstance(message, dict) or "type" not in message:
         raise ProtocolError("frame body is not a message dict")
     return message
+
+
+# -- codec 2: packed column batches --------------------------------------------
+
+_COL_U16 = struct.Struct("<H")
+_COL_I64 = struct.Struct("<q")
+_COL_HEAD = struct.Struct("<QII")  # seq, n_events, n_keys
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+#: Codec-2 op-code column values (0/1 match repro.core.columnar).
+_COL_OPS = {"r": 0, "w": 1, "b": 2, "c": 3}
+_COL_KINDS = ("r", "w", "b", "c")
+
+
+class ColumnarEvents:
+    """The decoded payload of a packed codec-2 batch: four parallel
+    event columns plus the frame's key table.
+
+    Columns are numpy views over the frame body when numpy is
+    installed (plain lists otherwise): ``op`` (uint8 codes per
+    ``_COL_OPS``), ``buu`` (int64), ``kidx`` (int32 key-table index,
+    ``-1`` on lifecycle rows) and ``seq`` (int64 op sequence /
+    lifecycle time).  ``keys`` is the per-frame key table the indices
+    point into.  :func:`decode_events` materializes per-op tuples from
+    it for the classic ingest path; the columnar fast path hands the
+    arrays to :mod:`repro.core.columnar` without building any
+    per-event object.
+    """
+
+    __slots__ = ("op", "buu", "kidx", "seq", "keys")
+
+    def __init__(self, op, buu, kidx, seq, keys: list) -> None:
+        self.op = op
+        self.buu = buu
+        self.kidx = kidx
+        self.seq = seq
+        self.keys = keys
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def to_records(self) -> list[list]:
+        """The equivalent JSON-codec event records (wire vocabulary)."""
+        out: list[list] = []
+        keys = self.keys
+        kinds = _COL_KINDS
+        for code, buu, kidx, seq in zip(
+                _tolist(self.op), _tolist(self.buu),
+                _tolist(self.kidx), _tolist(self.seq)):
+            if code < 2:
+                out.append([kinds[code], buu, keys[kidx], seq])
+            else:
+                out.append([kinds[code], buu, seq])
+        return out
+
+    def to_tuples(self) -> list[tuple]:
+        """Decoded event tuples in :func:`decode_events`' shape:
+        ``("op", Operation)`` / ``("b"|"c", buu, time)``."""
+        out: list[tuple] = []
+        append = out.append
+        keys = self.keys
+        new = tuple.__new__
+        read, write = OpType.READ, OpType.WRITE
+        try:
+            for code, buu, kidx, seq in zip(
+                    _tolist(self.op), _tolist(self.buu),
+                    _tolist(self.kidx), _tolist(self.seq)):
+                if code < 2:
+                    append(("op", new(Operation, (
+                        read if code == 0 else write, buu, keys[kidx], seq))))
+                elif code == 2:
+                    append(("b", buu, seq))
+                elif code == 3:
+                    append(("c", buu, seq))
+                else:
+                    raise ProtocolError(f"unknown op code {code}")
+        except IndexError as exc:
+            raise ProtocolError(
+                "columnar key index outside the frame's key table") from exc
+        return out
+
+
+def _tolist(column):
+    return column if isinstance(column, list) else column.tolist()
+
+
+def _fits_i64(value) -> bool:
+    return (type(value) is int and not isinstance(value, bool)
+            and _I64_MIN <= value <= _I64_MAX)
+
+
+def _pack_batch_columnar(message: dict) -> bytes | None:
+    """Pack one batch message into a tag-1 codec-2 body.
+
+    Returns ``None`` when the payload doesn't fit the fixed-width
+    columns (non-``str``/``int`` keys, out-of-range integers, oversized
+    session/key strings) — the caller then ships the batch as a tag-0
+    JSON body instead of truncating anything.
+    """
+    if message.keys() != {"type", "session", "seq", "events"}:
+        # Only the canonical batch shape has packed slots; anything
+        # else (extra fields, missing fields a decoder would default)
+        # ships as JSON rather than coming back changed.
+        return None
+    events = message.get("events") or []
+    if isinstance(events, ColumnarEvents):
+        events = events.to_records()
+    session = message.get("session", "")
+    seq = message.get("seq", 0)
+    if not isinstance(session, str) or not _fits_i64(seq) or seq < 0:
+        return None
+    session_b = session.encode()
+    n = len(events)
+    if len(session_b) > 0xFFFF or n > 0xFFFFFFFF:
+        return None
+    key_ids: dict = {}
+    key_parts: list[bytes] = []
+    op = bytearray(n)
+    buus: list[int] = []
+    kidxs: list[int] = []
+    seqs: list[int] = []
+    try:
+        for i, record in enumerate(events):
+            kind = record[0]
+            code = _COL_OPS.get(kind)
+            if code is None:
+                return None
+            op[i] = code
+            buu = record[1]
+            when = record[3] if code < 2 else record[2]
+            if not _fits_i64(buu) or not _fits_i64(when):
+                return None
+            if code < 2:
+                key = record[2]
+                kid = key_ids.get(key)
+                if kid is None:
+                    if type(key) is str:
+                        raw = key.encode()
+                        if len(raw) > 0xFFFF:
+                            return None
+                        key_parts.append(
+                            b"\x00" + _COL_U16.pack(len(raw)) + raw)
+                    elif _fits_i64(key):
+                        key_parts.append(b"\x01" + _COL_I64.pack(key))
+                    else:
+                        return None
+                    kid = len(key_ids)
+                    key_ids[key] = kid
+                kidxs.append(kid)
+            else:
+                kidxs.append(-1)
+            buus.append(buu)
+            seqs.append(when)
+    except (IndexError, TypeError):
+        return None
+    if len(key_ids) > 0xFFFFFFFF:  # pragma: no cover - 2**32 keys
+        return None
+    parts = [b"\x01", _COL_U16.pack(len(session_b)), session_b,
+             _COL_HEAD.pack(seq, n, len(key_ids))]
+    parts.extend(key_parts)
+    if _np is not None:
+        parts.append(bytes(op))
+        parts.append(_np.asarray(buus, _np.int64).tobytes())
+        parts.append(_np.asarray(kidxs, _np.int32).tobytes())
+        parts.append(_np.asarray(seqs, _np.int64).tobytes())
+    else:
+        parts.append(bytes(op))
+        parts.append(struct.pack(f"<{n}q", *buus))
+        parts.append(struct.pack(f"<{n}i", *kidxs))
+        parts.append(struct.pack(f"<{n}q", *seqs))
+    return b"".join(parts)
+
+
+def _decode_columnar_body(body: bytes) -> dict:
+    """Decode a codec-2 body (either tag) into a message dict."""
+    if not body:
+        raise ProtocolError("empty codec-2 body")
+    tag = body[0]
+    if tag == 0:
+        return _loads_json(body[1:])
+    if tag != 1:
+        raise ProtocolError(f"unknown codec-2 body tag {tag}")
+    try:
+        offset = 1
+        (session_len,) = _COL_U16.unpack_from(body, offset)
+        offset += _COL_U16.size
+        session = body[offset:offset + session_len].decode()
+        offset += session_len
+        seq, n, n_keys = _COL_HEAD.unpack_from(body, offset)
+        offset += _COL_HEAD.size
+        keys: list = []
+        for _ in range(n_keys):
+            key_tag = body[offset]
+            offset += 1
+            if key_tag == 0:
+                (raw_len,) = _COL_U16.unpack_from(body, offset)
+                offset += _COL_U16.size
+                keys.append(body[offset:offset + raw_len].decode())
+                offset += raw_len
+            elif key_tag == 1:
+                (key,) = _COL_I64.unpack_from(body, offset)
+                offset += _COL_I64.size
+                keys.append(key)
+            else:
+                raise ProtocolError(f"unknown key-table tag {key_tag}")
+        if len(body) - offset != n * 21:  # 1 + 8 + 4 + 8 bytes per event
+            raise ProtocolError(
+                f"columnar column block is {len(body) - offset} bytes "
+                f"for {n} events (expected {n * 21})"
+            )
+        if _np is not None:
+            op = _np.frombuffer(body, _np.uint8, n, offset)
+            offset += n
+            buu = _np.frombuffer(body, "<i8", n, offset).astype(
+                _np.int64, copy=False)
+            offset += 8 * n
+            kidx = _np.frombuffer(body, "<i4", n, offset).astype(
+                _np.int32, copy=False)
+            offset += 4 * n
+            when = _np.frombuffer(body, "<i8", n, offset).astype(
+                _np.int64, copy=False)
+        else:
+            op = list(body[offset:offset + n])
+            offset += n
+            buu = list(struct.unpack_from(f"<{n}q", body, offset))
+            offset += 8 * n
+            kidx = list(struct.unpack_from(f"<{n}i", body, offset))
+            offset += 4 * n
+            when = list(struct.unpack_from(f"<{n}q", body, offset))
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed columnar batch body: {exc!r}") from exc
+    return {"type": "batch", "session": session, "seq": seq,
+            "events": ColumnarEvents(op, buu, kidx, when, keys)}
 
 
 class FrameReader:
@@ -298,9 +596,14 @@ def encode_events(ops: Iterable[Operation]) -> list[list]:
     return [wire_op(op) for op in ops]
 
 
-def decode_events(records: list) -> list[tuple]:
+def decode_events(records) -> list[tuple]:
     """Decode wire event records into ``("op", Operation)`` /
-    ``("b"|"c", buu, time)`` tuples, validating as it goes."""
+    ``("b"|"c", buu, time)`` tuples, validating as it goes.
+
+    Accepts either the list-of-records shape the JSON/msgpack codecs
+    produce or a codec-2 :class:`ColumnarEvents` column struct."""
+    if isinstance(records, ColumnarEvents):
+        return records.to_tuples()
     out: list[tuple] = []
     for record in records:
         try:

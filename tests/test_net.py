@@ -34,6 +34,8 @@ import time
 import urllib.request
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.concurrent import RushMonService
 from repro.core.config import RushMonConfig
@@ -156,6 +158,77 @@ def test_msgpack_codec_round_trip_or_gated():
         assert list(protocol.FrameReader().feed(wire)) == [message]
 
 
+def test_columnar_codec_packs_and_falls_back():
+    """Codec 2 packs canonical batch messages into fixed-width columns
+    (decoding to :class:`protocol.ColumnarEvents`) and ships anything
+    the columns can't hold losslessly — exotic keys, oversized ints,
+    non-batch messages — as a JSON body instead."""
+    records = [["b", 1, 1], ["w", 1, "kéy", 2], ["r", 2, 7, 3],
+               ["c", 1, 4]]
+    message = protocol.batch("séssion", 3, records)
+    wire = protocol.encode_frame(message, codec=protocol.CODEC_COLUMNAR)
+    (decoded,) = protocol.FrameReader().feed(wire)
+    events = decoded["events"]
+    assert isinstance(events, protocol.ColumnarEvents)
+    assert events.to_records() == records
+    assert {k: v for k, v in decoded.items() if k != "events"} == \
+        {k: v for k, v in message.items() if k != "events"}
+    assert protocol.decode_events(events) == protocol.decode_events(records)
+
+    for exotic in ([["w", 1, None, 2]],          # unpackable key
+                   [["w", 1, "k", 2 ** 72]],     # int overflows i64
+                   [["w", True, "k", 2]]):       # bool is not an i64
+        message = protocol.batch("s", 1, exotic)
+        wire = protocol.encode_frame(message, codec=protocol.CODEC_COLUMNAR)
+        assert list(protocol.FrameReader().feed(wire)) == [message]
+    ping = protocol.ping(9)
+    wire = protocol.encode_frame(ping, codec=protocol.CODEC_COLUMNAR)
+    assert list(protocol.FrameReader().feed(wire)) == [ping]
+
+
+_wire_scalars = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-(2 ** 80), max_value=2 ** 80),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+_wire_keys = st.one_of(st.text(max_size=12),
+                       st.integers(min_value=-(2 ** 80), max_value=2 ** 80),
+                       st.none(), st.booleans())
+_wire_ints = st.integers(min_value=-(2 ** 80), max_value=2 ** 80)
+_wire_records = st.lists(st.one_of(
+    st.tuples(st.sampled_from(("r", "w")), _wire_ints, _wire_keys,
+              _wire_ints).map(list),
+    st.tuples(st.sampled_from(("b", "c")), _wire_ints, _wire_ints).map(list),
+), max_size=8)
+_wire_messages = st.one_of(
+    st.builds(protocol.batch, st.text(max_size=8),
+              st.integers(min_value=0, max_value=2 ** 62), _wire_records),
+    st.dictionaries(st.text(max_size=8),
+                    st.one_of(_wire_scalars,
+                              st.lists(_wire_scalars, max_size=3)),
+                    max_size=4).map(lambda d: {**d, "type": "x"}),
+)
+
+
+@given(message=_wire_messages)
+def test_every_codec_round_trips_any_message(message):
+    """The codec-equivalence property: whatever one codec delivers,
+    every other codec delivers too — unicode, None keys, >64-bit ints.
+    Codec 2 may deliver a batch's events as columns; normalizing them
+    through ``to_records`` must restore the original records exactly."""
+    codecs = [protocol.CODEC_JSON, protocol.CODEC_COLUMNAR]
+    if protocol.msgpack is not None:
+        codecs.append(protocol.CODEC_MSGPACK)
+    for codec in codecs:
+        wire = protocol.encode_frame(message, codec=codec)
+        (decoded,) = protocol.FrameReader().feed(wire)
+        events = decoded.get("events")
+        if isinstance(events, protocol.ColumnarEvents):
+            decoded = dict(decoded, events=events.to_records())
+        assert decoded == message, f"codec {codec}"
+
+
 def test_event_records_round_trip():
     ops = _ops(40, 8, seed=1)
     records = protocol.encode_events(ops)
@@ -232,6 +305,28 @@ def test_lifecycle_events_travel_too():
             assert client.flush(10.0)
     assert service.processed_events == 30 * 6
     _assert_sr1_differential(service)
+
+
+def test_columnar_client_round_trip_matches_offline():
+    """The codec-2 differential: a client shipping packed column frames
+    produces exactly the JSON client's (and the offline monitor's) sr=1
+    counts — the server decodes columns without per-event objects but
+    ingests the identical stream."""
+    ops = _ops(600, 12, seed=21)
+    service = _service()
+    with RushMonServer(service) as server:
+        with RushMonClient("127.0.0.1", server.port, batch_size=32,
+                           flush_interval=0.005,
+                           codec=protocol.CODEC_COLUMNAR) as client:
+            for op in ops:
+                client.on_operation(op)
+            assert client.flush(10.0)
+    assert service.processed_events == 600
+    _assert_sr1_differential(service)
+    offline = OfflineAnomalyMonitor()
+    for op in ops:
+        offline.on_operation(op)
+    assert service.counts() == offline.exact_counts()
 
 
 class _RawClient:
