@@ -39,6 +39,70 @@ def _batch_size(value: str) -> int:
     return parsed
 
 
+def _loop_threads(value: str) -> int:
+    """Argparse type for ``--loop-threads``: a non-negative integer."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--loop-threads must be an integer, got {value!r}"
+        ) from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"--loop-threads must be >= 0, got {parsed}; 0 selects the "
+            f"legacy thread-per-connection transport"
+        )
+    return parsed
+
+
+def _max_connections(value: str) -> int:
+    """Argparse type for ``--max-connections``: a positive integer."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--max-connections must be an integer, got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"--max-connections must be >= 1, got {parsed}; omit the flag "
+            f"for unlimited admission"
+        )
+    return parsed
+
+
+def _idle_timeout(value: str) -> float:
+    """Argparse type for ``--idle-timeout``: seconds >= 0 (0 disables)."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--idle-timeout must be a number of seconds, got {value!r}"
+        ) from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"--idle-timeout must be >= 0 seconds, got {parsed}; use 0 to "
+            f"disable the idle deadline"
+        )
+    return parsed
+
+
+def _drain_timeout(value: str) -> float:
+    """Argparse type for ``--drain-timeout``: seconds > 0."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--drain-timeout must be a number of seconds, got {value!r}"
+        ) from None
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"--drain-timeout must be > 0 seconds of total graceful-drain "
+            f"budget, got {parsed}"
+        )
+    return parsed
+
+
 def _add_monitor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sampling-rate", type=int, default=1,
                         help="item sampling rate sr (p = 1/sr)")
@@ -596,6 +660,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.net import RushMonServer
     from repro.obs import MetricsExporter
 
+    # One config object carries the monitor/service fields AND the
+    # serving fields (--loop-threads, --max-connections, ...), so the
+    # restore path still honors the serving flags.
+    cfg = RushMonConfig.from_cli_args(args)
     if args.checkpoint is not None and os.path.exists(args.checkpoint):
         service = RushMonService.restore(args.checkpoint)
         print(f"restored state from {args.checkpoint} "
@@ -606,14 +674,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # checkpoint_path; with no checkpoint_interval the service never
         # checkpoints on its own — the server owns the group-commit
         # checkpoint schedule (--checkpoint-every).
-        service = RushMonService(RushMonConfig.from_cli_args(args),
-                                 record_trace=not args.no_trace)
+        service = RushMonService(cfg, record_trace=not args.no_trace)
     server = RushMonServer(
         service,
         host=args.host,
         port=args.port,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        loop_threads=cfg.loop_threads,
+        max_connections=cfg.max_connections,
+        idle_timeout=cfg.idle_timeout,
+        drain_timeout=cfg.drain_timeout,
     )
     server.start()
     exporter = None
@@ -743,6 +814,22 @@ def cmd_bench_regress(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         batch_size=args.batch_size,
         repeats=args.repeats,
+        seed=args.seed,
+    )
+
+
+def cmd_bench_serving(args: argparse.Namespace) -> int:
+    """Run the serving soak bench (BENCH_serving.json): open-loop load
+    over the event-loop server — max sustainable rate, p50/p99/p999 ack
+    latency, typed-refusal behaviour under 2x overload."""
+    from repro.bench.serving import run_serving
+
+    return run_serving(
+        args.out,
+        quick=args.quick,
+        update=args.update,
+        check=args.check,
+        tolerance=args.tolerance,
         seed=args.seed,
     )
 
@@ -928,6 +1015,20 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["block", "shed", "degrade"])
     srv.add_argument("--max-restarts", type=int, default=5)
     srv.add_argument("--batch-size", type=_batch_size, default=256)
+    srv.add_argument("--loop-threads", type=_loop_threads, default=None,
+                     help="event-loop threads multiplexing connections "
+                          "(default 2; 0 = thread-per-connection)")
+    srv.add_argument("--max-connections", type=_max_connections,
+                     default=None,
+                     help="admission cap on concurrent connections; over "
+                          "it, new clients get a typed 'overloaded' error "
+                          "with a retry hint (default: unlimited)")
+    srv.add_argument("--idle-timeout", type=_idle_timeout, default=None,
+                     help="seconds of connection silence before disconnect "
+                          "(default 30; 0 disables)")
+    srv.add_argument("--drain-timeout", type=_drain_timeout, default=None,
+                     help="hard bound on total graceful-drain seconds "
+                          "(default 5)")
     srv.add_argument("--no-trace", action="store_true",
                      help="skip trace recording (saves memory; disables "
                           "the offline differential over the checkpoint)")
@@ -1003,6 +1104,28 @@ def build_parser() -> argparse.ArgumentParser:
     reg.add_argument("--out", default="BENCH_ingest.json",
                      help="results file (committed at the repo root)")
     reg.set_defaults(func=cmd_bench_regress)
+
+    bsrv = sub.add_parser(
+        "bench-serving",
+        help="open-loop serving soak vs the committed BENCH_serving.json "
+             "baseline (max sustainable rate, ack-latency percentiles)",
+    )
+    bsrv.add_argument("--quick", action="store_true",
+                      help="short legs only (what CI runs)")
+    bsrv.add_argument("--check", action="store_true",
+                      help="fail (exit 1) if the sustained-rate ratio "
+                           "regresses beyond --tolerance vs the committed "
+                           "baseline")
+    bsrv.add_argument("--update", action="store_true",
+                      help="rewrite BENCH_serving.json with fresh numbers")
+    bsrv.add_argument("--tolerance", type=float, default=0.35,
+                      help="allowed fractional regression of the "
+                           "machine-independent ratios in --check mode "
+                           "(default 0.35; raise on noisy runners)")
+    bsrv.add_argument("--seed", type=int, default=0)
+    bsrv.add_argument("--out", default="BENCH_serving.json",
+                      help="results file (committed at the repo root)")
+    bsrv.set_defaults(func=cmd_bench_serving)
 
     bclu = sub.add_parser(
         "bench-cluster",

@@ -90,6 +90,18 @@ class RushMonConfig:
         respawn-and-replay (and broadcasts each worker retains for peer
         resume).  A respawn whose snapshot falls outside the retained
         window cannot be replayed bit-exactly and degrades instead.
+    loop_threads:
+        Serving: event-loop threads multiplexing connections in
+        :class:`~repro.net.server.RushMonServer` (``0`` = legacy
+        thread-per-connection transport).
+    max_connections:
+        Serving: admission-control cap on concurrent connections;
+        ``None`` = unlimited.
+    idle_timeout:
+        Serving: seconds of connection silence before disconnect;
+        ``None`` disables the idle deadline.
+    drain_timeout:
+        Serving: hard bound on total graceful-drain time, seconds.
     """
 
     sampling_rate: int = 20
@@ -118,6 +130,11 @@ class RushMonConfig:
     max_worker_restarts: int = 3
     snapshot_interval: int | None = None
     replay_journal_capacity: int = 4096
+    # -- serving (repro.net.server.RushMonServer) ----------------------
+    loop_threads: int = 2
+    max_connections: int | None = None
+    idle_timeout: float | None = 30.0
+    drain_timeout: float = 5.0
 
     #: Valid ``pruning`` strategies (mirrors repro.core.pruning.make_pruner).
     PRUNING_CHOICES = ("none", "ect", "distance", "both")
@@ -138,6 +155,10 @@ class RushMonConfig:
             value = getattr(args, attr, None)
             return default if value is None else value
 
+        # --idle-timeout 0 means "no idle deadline" on the CLI.
+        idle = getattr(args, "idle_timeout", None)
+        idle_timeout = defaults.idle_timeout if idle is None \
+            else (idle or None)
         return cls(
             sampling_rate=pick("sampling_rate", defaults.sampling_rate),
             mob=not getattr(args, "no_mob", False),
@@ -163,6 +184,10 @@ class RushMonConfig:
             replay_journal_capacity=pick(
                 "replay_journal_capacity", defaults.replay_journal_capacity
             ),
+            loop_threads=pick("loop_threads", defaults.loop_threads),
+            max_connections=getattr(args, "max_connections", None),
+            idle_timeout=idle_timeout,
+            drain_timeout=pick("drain_timeout", defaults.drain_timeout),
         )
 
     def __post_init__(self) -> None:
@@ -277,4 +302,33 @@ class RushMonConfig:
                 f"replay_journal_capacity must be an integer >= 1 retained "
                 f"control frames per worker, got "
                 f"{self.replay_journal_capacity!r}"
+            )
+        # -- serving fields ----------------------------------------------
+        if not isinstance(self.loop_threads, int) or isinstance(
+            self.loop_threads, bool
+        ) or self.loop_threads < 0:
+            raise ValueError(
+                f"loop_threads must be an integer >= 0 event-loop threads "
+                f"(0 = thread-per-connection transport), got "
+                f"{self.loop_threads!r}"
+            )
+        if self.max_connections is not None and (
+            not isinstance(self.max_connections, int)
+            or isinstance(self.max_connections, bool)
+            or self.max_connections < 1
+        ):
+            raise ValueError(
+                f"max_connections must be an integer >= 1 concurrent "
+                f"connections, or None for unlimited, got "
+                f"{self.max_connections!r}"
+            )
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be > 0 seconds, or None to disable "
+                f"the idle deadline, got {self.idle_timeout!r}"
+            )
+        if self.drain_timeout <= 0:
+            raise ValueError(
+                f"drain_timeout must be > 0 seconds of total graceful-"
+                f"drain budget, got {self.drain_timeout!r}"
             )

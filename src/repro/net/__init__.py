@@ -4,15 +4,20 @@ The in-process :class:`~repro.core.concurrent.RushMonService` dies with
 its host.  This package detaches the monitor from the monitored system:
 
 - :class:`RushMonServer` — a TCP server wrapping a ``RushMonService``.
-  One reader thread per connection feeds the sharded collector; batches
-  are deduplicated per client session and acknowledged only once their
-  state is durable in a :mod:`repro.storage.wal` checkpoint, so a
-  SIGKILLed server restored from its checkpoint resumes without losing
-  an acknowledged batch or double-counting a replayed one.
+  A small pool of event-loop threads (:mod:`repro.net.eventloop`)
+  multiplexes the connections and feeds the sharded collector, with
+  admission control, per-client fairness and slow-client defenses;
+  batches are deduplicated per client session and acknowledged only
+  once their state is durable in a :mod:`repro.storage.wal`
+  checkpoint, so a SIGKILLed server restored from its checkpoint
+  resumes without losing an acknowledged batch or double-counting a
+  replayed one.
 - :class:`RushMonClient` — a monitor-listener facade that batches
   events into a bounded queue and ships them from a background thread,
-  with ack deadlines, exponential backoff + full jitter on reconnect,
-  heartbeats, and replay of unacknowledged batches after a reconnect.
+  with ack deadlines, exponential backoff + full jitter on reconnect
+  (honoring the server's ``retry_after`` hint when admission refuses
+  it), heartbeats, and replay of unacknowledged batches after a
+  reconnect.
 - :mod:`repro.net.protocol` — the length-prefixed JSON/msgpack frame
   format and message vocabulary both sides speak.
 

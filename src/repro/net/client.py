@@ -21,7 +21,11 @@ RushMonServer` from a background sender thread:
 - typed server errors are obeyed: ``backpressure`` pauses-and-resends
   (or sheds, per policy) the same sequence number, ``degraded`` follows
   the ``on_degraded`` policy, ``draining`` triggers a reconnect so the
-  stream resumes against the restarted server.
+  stream resumes against the restarted server, and an ``overloaded``
+  admission refusal is honored by sleeping the server's ``retry_after``
+  hint (capped at ``backoff_max``, jittered) before the next connect
+  instead of hammering the exponential-backoff path — refusals are
+  counted in :attr:`refusals_total`.
 """
 
 from __future__ import annotations
@@ -191,6 +195,10 @@ class RushMonClient:
         self.backpressure_errors_total = 0
         self.degraded_errors_total = 0
         self.heartbeats_total = 0
+        self.refusals_total = 0
+        #: The server's retry_after hint from the last ``overloaded``
+        #: refusal; consumed (and cleared) by the next connect's sleep.
+        self._retry_after_hint: float | None = None
         self._thread: threading.Thread | None = None
         self._sock: socket.socket | None = None
         self._ever_connected = False
@@ -281,6 +289,7 @@ class RushMonClient:
                 "backpressure_errors": self.backpressure_errors_total,
                 "degraded_errors": self.degraded_errors_total,
                 "heartbeats": self.heartbeats_total,
+                "refusals": self.refusals_total,
             }
 
     # -- completion ------------------------------------------------------------
@@ -404,8 +413,17 @@ class RushMonClient:
 
     def _connect(self, attempt: int) -> bool:
         if attempt > 0:
-            delay = self._rng.uniform(
-                0.0, min(self.backoff_max, self.backoff_base * 2 ** attempt))
+            hint, self._retry_after_hint = self._retry_after_hint, None
+            if hint is not None:
+                # An admission refusal told us when capacity may be
+                # back: honor it (capped, jittered) instead of the
+                # generic exponential backoff.
+                delay = min(self.backoff_max, hint) \
+                    * self._rng.uniform(0.75, 1.25)
+            else:
+                delay = self._rng.uniform(
+                    0.0,
+                    min(self.backoff_max, self.backoff_base * 2 ** attempt))
             if self._stop.wait(delay):
                 return False
         try:
@@ -424,6 +442,13 @@ class RushMonClient:
             return False
         if welcome is None:
             sock.close()
+            return False
+        if welcome.get("type") == "error":
+            sock.close()
+            if welcome.get("code") == "overloaded":
+                self.refusals_total += 1
+                hint = welcome.get("retry_after")
+                self._retry_after_hint = float(hint) if hint else None
             return False
         self._sock = sock
         if self._ever_connected:
@@ -449,6 +474,9 @@ class RushMonClient:
         return True
 
     def _await_welcome(self, sock: socket.socket) -> dict | None:
+        """The server's first message: a welcome, or a typed error
+        (e.g. an ``overloaded`` admission refusal) for the caller to
+        inspect.  ``None`` on timeout/EOF."""
         deadline = time.monotonic() + self.connect_timeout
         while time.monotonic() < deadline:
             if self._stop.is_set():
@@ -457,13 +485,13 @@ class RushMonClient:
                 data = sock.recv(65536)
             except socket.timeout:
                 continue
+            except OSError:
+                return None
             if not data:
                 return None
             for message in self._reader.feed(data):
-                if message.get("type") == "welcome":
+                if message.get("type") in ("welcome", "error"):
                     return message
-                if message.get("type") == "error":
-                    return None
         return None
 
     def _reconnect(self, reason: str) -> None:
@@ -567,6 +595,13 @@ class RushMonClient:
             # The server is shutting down; reconnect (with backoff)
             # until its replacement appears, then replay.
             raise OSError("server draining")
+        elif code == "overloaded":
+            # Admission control refused us; remember the hint so the
+            # reconnect sleeps what the server asked for.
+            self.refusals_total += 1
+            hint = message.get("retry_after")
+            self._retry_after_hint = float(hint) if hint else None
+            raise OSError("server overloaded")
         elif code == "bad-frame":
             if message.get("retriable", False):
                 raise OSError("server reported a bad frame")

@@ -46,15 +46,19 @@ Messages are flat dicts with a ``"type"`` key:
     the batch's effects are durable (when the server checkpoints) or
     ingested (when it runs without a checkpoint path).
 ``error``
-    ``{type, code, message, retriable, seq?, consumed?}`` — typed
-    failure.  ``consumed`` (refusals only) is how many events of the
-    refused batch the server *did* ingest before refusing: a blocking
-    client resends the full batch (the server resumes at its recorded
-    offset), while a shedding client must not count the ingested prefix
-    as lost.  Codes:
+    ``{type, code, message, retriable, seq?, consumed?, retry_after?}``
+    — typed failure.  ``consumed`` (refusals only) is how many events of
+    the refused batch the server *did* ingest before refusing: a
+    blocking client resends the full batch (the server resumes at its
+    recorded offset), while a shedding client must not count the
+    ingested prefix as lost.  ``retry_after`` (admission refusals) is
+    the server's hint, in seconds, for when capacity may be back.
+    Codes:
     ``backpressure`` (journal full, batch not fully ingested — resend
     after a backoff), ``degraded`` (detection circuit breaker tripped),
-    ``draining`` (server is shutting down gracefully), ``bad-frame``
+    ``draining`` (server is shutting down gracefully), ``overloaded``
+    (admission control refused the *connection* — too many clients;
+    reconnect after ``retry_after`` seconds), ``bad-frame``
     (undecodable frame — the connection is no longer trustworthy),
     ``bad-session`` (sequence gap — protocol violation).
 ``ping`` / ``pong``
@@ -156,7 +160,8 @@ MAX_FRAME = 16 * 1024 * 1024
 
 #: Typed error codes an ``error`` message may carry.
 ERROR_CODES = (
-    "backpressure", "degraded", "draining", "bad-frame", "bad-session",
+    "backpressure", "degraded", "draining", "overloaded", "bad-frame",
+    "bad-session",
 )
 
 _LEN = struct.Struct("!I")
@@ -493,6 +498,13 @@ class FrameReader:
         self._buffer = bytearray()
         self.frames_decoded = 0
 
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame.  Nonzero means the
+        peer has started a frame and not finished it — the signal the
+        event loop's partial-frame (slowloris) deadline watches."""
+        return len(self._buffer)
+
     def feed(self, data: bytes) -> Iterator[dict]:
         """Consume ``data``, yielding every complete message in it."""
         self._buffer.extend(data)
@@ -547,7 +559,8 @@ def ack(session: str, seq: int) -> dict:
 
 
 def error(code: str, message: str, *, retriable: bool,
-          seq: int | None = None, consumed: int = 0) -> dict:
+          seq: int | None = None, consumed: int = 0,
+          retry_after: float | None = None) -> dict:
     """A typed failure; see the module docstring for the codes."""
     payload = {"type": "error", "code": code, "message": message,
                "retriable": retriable}
@@ -555,6 +568,8 @@ def error(code: str, message: str, *, retriable: bool,
         payload["seq"] = seq
     if consumed:
         payload["consumed"] = consumed
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
     return payload
 
 

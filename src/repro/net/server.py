@@ -1,11 +1,14 @@
 """The networked RushMon ingestion server.
 
-:class:`RushMonServer` listens on TCP, runs one reader thread per
-connection, and feeds decoded batches into a wrapped
-:class:`~repro.core.concurrent.RushMonService` (whose sharded collector
-does the actual thread-safe bookkeeping).  Its job is the **delivery
-contract** — at-least-once from the wire, effectively-once into the
-monitor:
+:class:`RushMonServer` listens on TCP and feeds decoded batches into a
+wrapped :class:`~repro.core.concurrent.RushMonService` (whose sharded
+collector does the actual thread-safe bookkeeping).  By default
+connections are multiplexed over a small pool of event-loop threads
+(:mod:`repro.net.eventloop` — admission control, per-client fairness,
+slow-client defenses); ``loop_threads=0`` selects the legacy
+thread-per-connection transport.  Both transports share the same
+handling core, so the **delivery contract** — at-least-once from the
+wire, effectively-once into the monitor — is identical:
 
 Sessions and sequence numbers
     Each client holds a session id and numbers its batches 1, 2, 3, …
@@ -41,9 +44,19 @@ Graceful drain
     accepting work, flushes pending acknowledgements, stops the service
     (final detection pass) and writes a final checkpoint.
 
-Fault injection: the ``net.accept``, ``net.recv`` and ``net.ack``
-points (kinds ``disconnect`` / ``delay`` / ``corrupt`` / ``exception``)
-let the chaos suite break the transport deterministically.
+Overload resilience
+    Under the event-loop transport, ``max_connections`` refuses the
+    connection that tips over the cap with a typed ``overloaded``
+    error carrying a ``retry_after`` hint (then pauses accepts until a
+    slot frees); per-connection in-flight caps and round-robin
+    dispatch keep one firehose client from starving others; idle and
+    partial-frame deadlines plus a write-buffer high-watermark drop
+    slowloris/non-reading peers instead of pinning buffers.
+
+Fault injection: the ``net.accept``, ``net.recv``, ``net.ack`` and
+``net.select`` points (kinds ``disconnect`` / ``delay`` / ``corrupt`` /
+``slow-read`` / ``stall`` / ``exception``) let the chaos suite break
+the transport deterministically.
 """
 
 from __future__ import annotations
@@ -132,7 +145,10 @@ class RushMonServer:
         for its group's checkpoint — a background committer flushes
         stragglers so a quiet stream still gets acknowledged promptly.
     drain_timeout:
-        Seconds :meth:`drain` waits for in-flight reader threads.
+        Hard bound, in seconds, on the *total* time :meth:`drain` may
+        spend waiting (threads, ack flush, write-buffer flush).  Work
+        still outstanding at the deadline is cut off and counted in
+        :attr:`drain_forced_total`.
     session_ttl:
         Idle seconds after which a session-table entry may be evicted
         (only once its high-water is durable and no live connection or
@@ -142,6 +158,33 @@ class RushMonServer:
         entry per client run without bound.  A client resuming an
         evicted session starts a fresh sequence space, so the TTL must
         comfortably exceed the longest expected client outage.
+    loop_threads:
+        Size of the event-loop pool multiplexing connections
+        (:mod:`repro.net.eventloop`).  ``0`` falls back to the legacy
+        thread-per-connection transport — same delivery contract,
+        no admission control or slow-client defenses.
+    max_connections:
+        Admission-control cap on concurrent connections (event-loop
+        transport).  The connection that tips over the cap receives a
+        typed ``overloaded`` error with a ``retry_after`` hint and
+        accepts pause until a slot frees.  ``None`` = unlimited.
+    idle_timeout:
+        Seconds of total silence after which a connection is dropped
+        (clients heartbeat every second, so only dead peers trip it).
+        ``None`` disables the idle deadline.
+    partial_frame_timeout:
+        Seconds a peer may take to complete a frame it started — the
+        slowloris defense; the clock runs from the frame's first byte.
+    inflight_cap:
+        Per-connection cap on decoded-but-undispatched messages before
+        the loop pauses that connection's reads (fairness: a firehose
+        client is throttled by its own backlog).
+    write_high_watermark:
+        Bytes of unflushed replies (acks/errors) a connection may
+        accumulate before it is disconnected for not reading.
+    overload_retry_after:
+        The ``retry_after`` hint, in seconds, carried by admission
+        refusals.
     faults:
         Optional :class:`~repro.testing.faults.FaultInjector` arming the
         ``net.*`` points.
@@ -158,6 +201,13 @@ class RushMonServer:
         ack_interval: float = 0.05,
         drain_timeout: float = 5.0,
         session_ttl: float | None = 3600.0,
+        loop_threads: int = 2,
+        max_connections: int | None = None,
+        idle_timeout: float | None = 30.0,
+        partial_frame_timeout: float = 5.0,
+        inflight_cap: int = 8,
+        write_high_watermark: int = 1 << 20,
+        overload_retry_after: float = 0.5,
         faults=None,
     ) -> None:
         if checkpoint_every < 1:
@@ -167,6 +217,23 @@ class RushMonServer:
         if session_ttl is not None and session_ttl <= 0:
             raise ValueError("session_ttl must be > 0 seconds (or None "
                              "to disable idle-session eviction)")
+        if loop_threads < 0:
+            raise ValueError("loop_threads must be >= 0 (0 = legacy "
+                             "thread-per-connection transport)")
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 connections "
+                             "(or None for unlimited)")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be > 0 seconds (or None "
+                             "to disable the idle deadline)")
+        if partial_frame_timeout <= 0:
+            raise ValueError("partial_frame_timeout must be > 0 seconds")
+        if inflight_cap < 1:
+            raise ValueError("inflight_cap must be >= 1 messages")
+        if write_high_watermark < 4096:
+            raise ValueError("write_high_watermark must be >= 4096 bytes")
+        if overload_retry_after <= 0:
+            raise ValueError("overload_retry_after must be > 0 seconds")
         if service._checkpoint_interval is not None:
             raise ValueError(
                 "the service must not checkpoint on its own "
@@ -182,6 +249,13 @@ class RushMonServer:
         self.ack_interval = ack_interval
         self.drain_timeout = drain_timeout
         self.session_ttl = session_ttl
+        self.loop_threads = loop_threads
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.partial_frame_timeout = partial_frame_timeout
+        self.inflight_cap = inflight_cap
+        self.write_high_watermark = write_high_watermark
+        self.overload_retry_after = overload_retry_after
         self._faults = faults
         # Delivery state.  _ingest_lock makes (ingest batch + advance
         # high-water) and (checkpoint + flush acks) mutually atomic —
@@ -216,14 +290,23 @@ class RushMonServer:
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._commit_thread: threading.Thread | None = None
-        self._connections: set[_Connection] = set()
+        self._connections: set = set()
         self._conn_lock = threading.Lock()
+        #: Guards the overload/disconnect counters below, which are
+        #: bumped from multiple loop threads.
+        self._count_lock = threading.Lock()
+        self._loops = None
         self._stop_event = threading.Event()
         self._draining = False
         self._stopped = False
         self.connections_total = 0
         self.reconnect_hellos_total = 0
         self.sessions_evicted_total = 0
+        self.admission_refusals_total = 0
+        self.idle_disconnects_total = 0
+        self.partial_frame_disconnects_total = 0
+        self.write_overflow_disconnects_total = 0
+        self.drain_forced_total = 0
         self.errors_sent: dict[str, int] = {}
         registry = service.metrics
         self._m_frames = registry.counter(
@@ -264,14 +347,21 @@ class RushMonServer:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self._requested_port))
-        listener.listen(64)
-        listener.settimeout(0.2)
+        listener.listen(1024)
         self._listener = listener
         self.service.start()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="rushmon-net-accept", daemon=True,
-        )
-        self._accept_thread.start()
+        if self.loop_threads:
+            from repro.net.eventloop import EventLoopGroup
+            listener.setblocking(False)
+            self._loops = EventLoopGroup(self, self.loop_threads)
+            self._loops.start(listener)
+        else:
+            listener.settimeout(0.2)
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="rushmon-net-accept",
+                daemon=True,
+            )
+            self._accept_thread.start()
         self._commit_thread = threading.Thread(
             target=self._commit_loop, name="rushmon-net-commit", daemon=True,
         )
@@ -307,9 +397,17 @@ class RushMonServer:
     def drain(self) -> None:
         """Graceful shutdown: stop accepting, flush acknowledgements,
         stop the service (final detection pass) and write the final
-        checkpoint.  Idempotent; wired to SIGTERM by ``repro serve``."""
+        checkpoint.  Idempotent; wired to SIGTERM by ``repro serve``.
+
+        Total wait is bounded by one ``drain_timeout`` deadline shared
+        across every step (not per thread/session, which used to let a
+        handful of stuck sessions stretch shutdown to N x the timeout).
+        Connections cut off at the deadline with work still unflushed
+        are counted in :attr:`drain_forced_total`.
+        """
         if self._stopped:
             return
+        deadline = time.monotonic() + self.drain_timeout
         self._draining = True
         self._stop_event.set()
         listener, self._listener = self._listener, None
@@ -318,7 +416,7 @@ class RushMonServer:
         for thread in (self._accept_thread, self._commit_thread):
             if thread is not None and thread.is_alive() \
                     and thread is not threading.current_thread():
-                thread.join(self.drain_timeout)
+                thread.join(max(0.05, deadline - time.monotonic()))
         # Acknowledge everything already ingested, then retire the
         # service: readers that race a last batch in get a typed
         # "draining" error and their client replays on the next server.
@@ -333,7 +431,18 @@ class RushMonServer:
                 conn.send(protocol.bye())
             except OSError:
                 pass
-            conn.close()
+        if self._loops is not None:
+            # Event-loop transport: loops flush buffered acks/byes
+            # until empty or the deadline, then close everything;
+            # unflushed (or stuck-loop) connections come back as the
+            # forced count.
+            self.drain_forced_total += self._loops.stop(deadline)
+        late = time.monotonic() > deadline
+        for conn in connections:
+            if conn.alive:
+                if late:
+                    self.drain_forced_total += 1
+                conn.close()
         if not self.service.stopped:
             self.service.stop()
         if self.checkpoint_path is not None:
@@ -352,17 +461,18 @@ class RushMonServer:
     # -- accept / read loops ---------------------------------------------------
 
     def _fire(self, point: str):
-        """Fire a net fault point; handles delay/exception inline and
-        returns disconnect/corrupt faults to the call site."""
+        """Fire a net fault point; handles delay/stall/exception inline
+        and returns disconnect/corrupt/slow-read faults to the call
+        site."""
         if self._faults is None:
             return None
         fault = self._faults.fire(point)
         if fault is None:
             return None
-        if fault.kind == "delay":
+        if fault.kind in ("delay", "stall"):
             time.sleep(fault.delay)
             return None
-        if fault.kind in ("disconnect", "corrupt"):
+        if fault.kind in ("disconnect", "corrupt", "slow-read"):
             return fault
         raise fault.exc_factory()
 
@@ -407,14 +517,26 @@ class RushMonServer:
                 if not data:
                     return  # peer closed
                 fault = self._fire("net.recv")
+                trickle = False
                 if fault is not None:
                     if fault.kind == "disconnect":
                         return
-                    index = len(data) // 2
-                    data = data[:index] + bytes([data[index] ^ 0x40]) \
-                        + data[index + 1:]
+                    if fault.kind == "slow-read":
+                        trickle = True
+                    else:
+                        index = len(data) // 2
+                        data = data[:index] + bytes([data[index] ^ 0x40]) \
+                            + data[index + 1:]
                 try:
-                    for message in conn.reader.feed(data):
+                    if trickle:
+                        # Pathological fragmentation: one byte per feed
+                        # through the incremental reassembly.
+                        messages = []
+                        for i in range(len(data)):
+                            messages.extend(conn.reader.feed(data[i:i + 1]))
+                    else:
+                        messages = conn.reader.feed(data)
+                    for message in messages:
                         self._m_frames.inc()
                         if not self._handle(conn, message):
                             return

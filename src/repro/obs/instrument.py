@@ -154,6 +154,35 @@ def instrument_net_server(registry: MetricsRegistry, server: Any) -> None:
         help="distinct batches ingested into the collector "
              "(lifetime, survives restore)",
     )
+    registry.gauge_fn(
+        "rushmon_net_admission_refusals_total",
+        lambda: float(server.admission_refusals_total),
+        help="connections refused with a typed overloaded error "
+             "(admission control at max_connections)",
+    )
+    registry.gauge_fn(
+        "rushmon_net_idle_disconnects_total",
+        lambda: float(server.idle_disconnects_total),
+        help="connections dropped by the idle deadline",
+    )
+    registry.gauge_fn(
+        "rushmon_net_partial_frame_disconnects_total",
+        lambda: float(server.partial_frame_disconnects_total),
+        help="connections dropped by the partial-frame (slowloris) "
+             "deadline",
+    )
+    registry.gauge_fn(
+        "rushmon_net_write_overflow_disconnects_total",
+        lambda: float(server.write_overflow_disconnects_total),
+        help="connections dropped at the write-buffer high-watermark "
+             "(peer stopped reading its acks)",
+    )
+    registry.gauge_fn(
+        "rushmon_net_drain_forced_total",
+        lambda: float(server.drain_forced_total),
+        help="connections force-closed at the drain deadline with "
+             "work still unflushed",
+    )
 
 
 def instrument_net_client(registry: MetricsRegistry, client: Any) -> None:
@@ -170,6 +199,8 @@ def instrument_net_client(registry: MetricsRegistry, client: Any) -> None:
          "batches acknowledged by the server"),
         ("rushmon_net_client_shed_events_total", "shed_events_total",
          "events dropped by the client's shed policies (honest loss)"),
+        ("rushmon_net_client_refusals_total", "refusals_total",
+         "typed overloaded admission refusals received from the server"),
     ):
         registry.gauge_fn(
             name,

@@ -32,10 +32,20 @@ Injection points wired into the pipeline
     ``disconnect`` fault drops the fresh connection on the floor
     (clients must retry with backoff).
 ``net.recv``
-    Per received chunk in a server reader thread.  ``disconnect`` tears
-    the connection down mid-stream; ``corrupt`` flips one byte of the
+    Per received chunk in a server reader thread (or, under the event
+    loop, per readable-socket wakeup).  ``disconnect`` tears the
+    connection down mid-stream; ``corrupt`` flips one byte of the
     chunk before decoding (the framing layer must refuse it, never
-    ingest garbage).
+    ingest garbage); ``slow-read`` caps the read at one byte, the
+    pathological fragmentation the incremental frame reassembly must
+    absorb.
+``net.select``
+    Once per event-loop iteration in :mod:`repro.net.eventloop`, before
+    the selector wait.  ``stall`` (or ``delay``) freezes that loop
+    thread for ``delay`` seconds — every connection it multiplexes
+    stops making progress, which is how the drain-deadline and
+    slow-loop tests simulate an overloaded loop; ``slow-read`` makes
+    every read of that iteration one byte long.
 ``net.ack``
     Just before an acknowledgement frame is sent.  ``disconnect``
     closes the connection with the batch ingested but the ack lost —
@@ -77,6 +87,13 @@ Fault kinds
 ``kill_worker``
     Only meaningful at ``cluster.route``: SIGKILL the destination
     worker process.
+``slow-read``
+    Only meaningful at ``net.recv`` / ``net.select``: cap socket reads
+    at one byte (slowloris-style trickle, server side).
+``stall``
+    Only meaningful at ``net.select``: freeze the event-loop thread for
+    ``delay`` seconds (a stalled loop, as opposed to ``delay`` at
+    ``net.recv`` which slows a single reader thread).
 
 Scheduling: each fault skips its first ``after`` eligible calls, then
 fires on every ``every``-th call, at most ``times`` times.  All
@@ -101,6 +118,7 @@ POINTS = (
     "net.accept",
     "net.recv",
     "net.ack",
+    "net.select",
     "cluster.route",
     "cluster.exchange",
     "cluster.snapshot",
@@ -108,7 +126,7 @@ POINTS = (
 
 #: Fault kinds understood by the call sites.
 KINDS = ("exception", "delay", "partial_drain", "disconnect", "corrupt",
-         "kill_worker")
+         "kill_worker", "slow-read", "stall")
 
 
 class InjectedFault(RuntimeError):
@@ -156,6 +174,12 @@ class Fault:
                 "cluster.snapshot")
         if self.kind == "kill_worker" and self.point != "cluster.route":
             raise ValueError("kill_worker only applies to cluster.route")
+        if self.kind == "slow-read" and self.point not in (
+                "net.recv", "net.select"):
+            raise ValueError("slow-read only applies to net.recv / "
+                             "net.select")
+        if self.kind == "stall" and self.point != "net.select":
+            raise ValueError("stall only applies to net.select")
         if self.after < 0 or self.every < 1:
             raise ValueError("after must be >= 0 and every >= 1")
         if self.times is not None and self.times < 1:
